@@ -1,0 +1,102 @@
+//===- bench/bench_fdtd2d.cpp - Experiment E3 (paper Fig. 8) --------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// 2-d FDTD (paper Figure 7): four imperfectly nested statements; the
+// framework finds one fully permutable band of three hyperplanes
+// (shift + fusion + time skewing). Paper setup: nx = ny = 2000, tmax = 500.
+// Variants: original, Pluto tiled sequential (Fig. 8(a)), Pluto tiled +
+// wavefront parallel (Fig. 8(b)), and the inner-space-only parallelization
+// (paper: "hardly yields any parallel speedup").
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Harness.h"
+#include "driver/Kernels.h"
+
+using namespace pluto;
+using namespace pluto::bench;
+
+int main() {
+  double Scale = benchScale();
+  long long NX = static_cast<long long>(1000 * std::sqrt(Scale));
+  long long TMAX = static_cast<long long>(100 * Scale);
+  if (NX < 32)
+    NX = 32;
+  if (TMAX < 8)
+    TMAX = 8;
+  long long NY = NX;
+
+  Problem P;
+  P.Name = "E3: 2-d FDTD (paper Fig. 8)";
+  P.Source = kernels::Fdtd2D;
+  P.ExtentExprs = {{"ex", {"nx", "ny + 1"}},
+                   {"ey", {"nx + 1", "ny"}},
+                   {"hz", {"nx", "ny"}},
+                   {"fict", {"tmax"}}};
+  P.Extents = {{"ex", {NX, NY + 1}},
+               {"ey", {NX + 1, NY}},
+               {"hz", {NX, NY}},
+               {"fict", {TMAX}}};
+  P.Params = {{"tmax", TMAX}, {"nx", NX}, {"ny", NY}};
+  P.Consts = {{"coeff1", 0.5}, {"coeff2", 0.7}};
+  // Per time step: S1 ~3*(nx-1)*ny, S2 ~3*nx*(ny-1), S3 ~5*(nx-1)*(ny-1).
+  P.Flops = static_cast<double>(TMAX) *
+            (3.0 * (NX - 1) * NY + 3.0 * NX * (NY - 1) +
+             5.0 * (NX - 1) * (NY - 1));
+
+  if (!CompiledKernel::compilerAvailable()) {
+    std::printf("no C compiler available; skipping JIT benchmark\n");
+    return 0;
+  }
+
+  PlutoOptions SeqOpts;
+  SeqOpts.Tile = false;
+  SeqOpts.Parallelize = false;
+  SeqOpts.Vectorize = false;
+  SeqOpts.IncludeInputDeps = false;
+  auto Base = optimizeSource(P.Source, SeqOpts);
+  if (!Base) {
+    std::fprintf(stderr, "pipeline error: %s\n", Base.error().c_str());
+    return 1;
+  }
+  auto OrigAst = buildOriginalAst(Base->program());
+  auto Orig = compileVariant(*Base, **OrigAst, P);
+  if (!Orig) {
+    std::fprintf(stderr, "%s\n", Orig.error().c_str());
+    return 1;
+  }
+
+  std::vector<Variant> Variants;
+  auto add = [&](const std::string &Name, Result<PlutoResult> R,
+                 bool Parallel) {
+    if (!R) {
+      std::fprintf(stderr, "%s: pipeline error: %s\n", Name.c_str(),
+                   R.error().c_str());
+      return;
+    }
+    auto K = compileVariant(*R, *R->Ast, P);
+    if (!K) {
+      std::fprintf(stderr, "%s: %s\n", Name.c_str(), K.error().c_str());
+      return;
+    }
+    bool Ok = verify(*R, *Orig, *K, P);
+    std::printf("  built %-32s verify: %s\n", Name.c_str(),
+                Ok ? "ok" : "FAIL");
+    if (Ok)
+      Variants.push_back({Name, std::move(*K), Parallel});
+  };
+
+  PlutoOptions TileSeq;
+  TileSeq.TileSize = 32; // Best of a 16..128 sweep on this host.
+  TileSeq.Parallelize = false;
+  TileSeq.IncludeInputDeps = false;
+  add("pluto (tiled, seq)", optimizeSource(P.Source, TileSeq), false);
+
+  PlutoOptions TilePar = TileSeq;
+  TilePar.Parallelize = true;
+  add("pluto (tiled, wavefront)", optimizeSource(P.Source, TilePar), true);
+
+  runAndReport(*Base, P, *Orig, Variants);
+  return 0;
+}

@@ -1,0 +1,138 @@
+//===- bench/bench_toolchain.cpp - Experiment E7 (tool running time) ------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// The paper claims (Sec. 7): "Our transformation framework itself runs
+// quite fast - within a fraction of a second for all benchmarks considered
+// here. Along with code generation time, the entire source-to-source
+// transformation does not take more than a few seconds for any of the
+// cases." This google-benchmark binary measures each stage per kernel:
+// parsing, dependence analysis, the Pluto ILP search, and tiled OpenMP
+// code generation, plus substrate micro-benchmarks (integer lexmin,
+// Fourier-Motzkin projection).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Kernels.h"
+#include "ilp/LexMin.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pluto;
+
+namespace {
+
+struct NamedKernel {
+  const char *Name;
+  const char *Src;
+};
+
+const NamedKernel Kernels[] = {
+    {"jacobi1d", kernels::Jacobi1D}, {"fdtd2d", kernels::Fdtd2D},
+    {"lu", kernels::LU},             {"mvt", kernels::MVT},
+    {"seidel2d", kernels::Seidel2D}, {"matmul", kernels::MatMul},
+};
+
+Program parsedProgram(const char *Src) {
+  auto P = parseSource(Src);
+  assert(P && "kernel must parse");
+  Program Prog = P->Prog;
+  for (const std::string &Pm : Prog.ParamNames)
+    Prog.addContextBound(Pm, 4);
+  return Prog;
+}
+
+void BM_Parse(benchmark::State &State, const char *Src) {
+  for (auto _ : State) {
+    auto P = parseSource(Src);
+    benchmark::DoNotOptimize(P);
+  }
+}
+
+void BM_Dependences(benchmark::State &State, const char *Src) {
+  Program Prog = parsedProgram(Src);
+  for (auto _ : State) {
+    DependenceGraph G = computeDependences(Prog);
+    benchmark::DoNotOptimize(G.Deps.size());
+  }
+}
+
+void BM_Transform(benchmark::State &State, const char *Src) {
+  Program Prog = parsedProgram(Src);
+  DependenceGraph G = computeDependences(Prog);
+  for (auto _ : State) {
+    DependenceGraph Copy = G;
+    auto S = computeSchedule(Prog, Copy);
+    benchmark::DoNotOptimize(S.hasValue());
+  }
+}
+
+void BM_EndToEnd(benchmark::State &State, const char *Src) {
+  PlutoOptions Opts;
+  Opts.TileSize = 32;
+  for (auto _ : State) {
+    auto R = optimizeSource(Src, Opts);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+
+void BM_LexMinSmall(benchmark::State &State) {
+  // The matmul-shaped first-hyperplane ILP.
+  IntMatrix I(7);
+  auto row = [&](std::initializer_list<long long> R) {
+    std::vector<BigInt> V;
+    for (long long X : R)
+      V.push_back(BigInt(X));
+    I.addRow(std::move(V));
+  };
+  row({0, 0, 1, 0, 0, 0, 0});
+  row({1, 0, -1, 0, 0, 0, 0});
+  row({4, 1, -3, 0, 0, 0, 0});
+  row({0, 0, 1, 1, 1, 0, -1});
+  for (auto _ : State) {
+    auto R = ilp::lexMinNonNeg(I, IntMatrix(7), 6);
+    benchmark::DoNotOptimize(R.feasible());
+  }
+}
+
+void BM_FourierMotzkin(benchmark::State &State) {
+  // Project a 6-d dependence-polyhedron-shaped system down to 2 dims.
+  for (auto _ : State) {
+    ConstraintSystem CS(6);
+    for (unsigned V = 0; V < 6; ++V) {
+      CS.addLowerBound(V, 0);
+      CS.addUpperBound(V, 100);
+    }
+    CS.addIneq({1, -1, 0, 0, 0, 0, 0});
+    CS.addIneq({0, 1, -1, 0, 0, 1, 0});
+    CS.addEq({1, 0, 0, -1, 0, 0, -1});
+    CS.projectOut(2, 4);
+    benchmark::DoNotOptimize(CS.numIneqs());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const NamedKernel &K : Kernels) {
+    benchmark::RegisterBenchmark(
+        (std::string("parse/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) { BM_Parse(S, Src); });
+    benchmark::RegisterBenchmark(
+        (std::string("dependences/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) { BM_Dependences(S, Src); });
+    benchmark::RegisterBenchmark(
+        (std::string("transform/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) { BM_Transform(S, Src); });
+    benchmark::RegisterBenchmark(
+        (std::string("end_to_end_codegen/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) { BM_EndToEnd(S, Src); });
+  }
+  benchmark::RegisterBenchmark("substrate/lexmin_small", BM_LexMinSmall);
+  benchmark::RegisterBenchmark("substrate/fourier_motzkin",
+                               BM_FourierMotzkin);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

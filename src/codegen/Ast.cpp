@@ -1,0 +1,240 @@
+//===- codegen/Ast.cpp - Generated loop AST -------------------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Ast.h"
+
+#include <set>
+
+using namespace pluto;
+
+CgExpr CgExpr::affine(std::vector<std::pair<std::string, BigInt>> Terms,
+                      BigInt Const) {
+  CgExpr E;
+  E.K = Kind::Affine;
+  // Drop zero terms for readability.
+  for (auto &T : Terms)
+    if (!T.second.isZero())
+      E.Terms.push_back(std::move(T));
+  E.ConstTerm = std::move(Const);
+  return E;
+}
+
+CgExpr CgExpr::constant(long long V) { return affine({}, BigInt(V)); }
+
+CgExpr CgExpr::floord(CgExpr Num, BigInt Den) {
+  assert(Den.isPositive() && "floord denominator must be positive");
+  if (Den.isOne())
+    return Num;
+  CgExpr E;
+  E.K = Kind::Floord;
+  E.Den = std::move(Den);
+  E.Args.push_back(std::move(Num));
+  return E;
+}
+
+CgExpr CgExpr::ceild(CgExpr Num, BigInt Den) {
+  assert(Den.isPositive() && "ceild denominator must be positive");
+  if (Den.isOne())
+    return Num;
+  CgExpr E;
+  E.K = Kind::Ceild;
+  E.Den = std::move(Den);
+  E.Args.push_back(std::move(Num));
+  return E;
+}
+
+CgExpr CgExpr::makeMin(std::vector<CgExpr> Args) {
+  assert(!Args.empty() && "min of nothing");
+  if (Args.size() == 1)
+    return std::move(Args[0]);
+  CgExpr E;
+  E.K = Kind::Min;
+  E.Args = std::move(Args);
+  return E;
+}
+
+CgExpr CgExpr::makeMax(std::vector<CgExpr> Args) {
+  assert(!Args.empty() && "max of nothing");
+  if (Args.size() == 1)
+    return std::move(Args[0]);
+  CgExpr E;
+  E.K = Kind::Max;
+  E.Args = std::move(Args);
+  return E;
+}
+
+std::string CgExpr::toC() const {
+  switch (K) {
+  case Kind::Affine: {
+    if (Terms.empty())
+      return ConstTerm.toString();
+    std::string S;
+    bool First = true;
+    for (const auto &[Name, Coef] : Terms) {
+      if (Coef.isOne())
+        S += First ? Name : " + " + Name;
+      else if (Coef.isMinusOne())
+        S += First ? "-" + Name : " - " + Name;
+      else if (Coef.isPositive())
+        S += (First ? "" : " + ") + Coef.toString() + "*" + Name;
+      else
+        S += (First ? "-" : " - ") + (-Coef).toString() + "*" + Name;
+      First = false;
+    }
+    if (ConstTerm.isPositive())
+      S += " + " + ConstTerm.toString();
+    else if (ConstTerm.isNegative())
+      S += " - " + (-ConstTerm).toString();
+    return S;
+  }
+  case Kind::Floord:
+    return "floord(" + Args[0].toC() + ", " + Den.toString() + ")";
+  case Kind::Ceild:
+    return "ceild(" + Args[0].toC() + ", " + Den.toString() + ")";
+  case Kind::Min:
+  case Kind::Max: {
+    // Nest binary min/max macros.
+    const char *F = K == Kind::Min ? "min" : "max";
+    std::string S = Args[0].toC();
+    for (size_t I = 1; I < Args.size(); ++I)
+      S = std::string(F) + "(" + S + ", " + Args[I].toC() + ")";
+    return S;
+  }
+  }
+  return "<?>";
+}
+
+std::string CgCond::toC() const {
+  if (Mod.isZero())
+    return "(" + Expr.toC() + ") >= 0";
+  // C's % yields 0 for exact divisibility regardless of sign.
+  return "(" + Expr.toC() + ") % " + Mod.toString() + " == 0";
+}
+
+CgNodePtr CgNode::block() {
+  auto N = std::make_unique<CgNode>();
+  N->K = Kind::Block;
+  return N;
+}
+
+CgNodePtr CgNode::loop(std::string Var, CgExpr Lb, CgExpr Ub) {
+  auto N = std::make_unique<CgNode>();
+  N->K = Kind::Loop;
+  N->Var = std::move(Var);
+  N->Lb = std::move(Lb);
+  N->Ub = std::move(Ub);
+  return N;
+}
+
+CgNodePtr CgNode::guard(std::vector<CgCond> Conds) {
+  auto N = std::make_unique<CgNode>();
+  N->K = Kind::If;
+  N->Conds = std::move(Conds);
+  return N;
+}
+
+CgNodePtr CgNode::let(std::string Var, CgExpr Value) {
+  auto N = std::make_unique<CgNode>();
+  N->K = Kind::Let;
+  N->Var = std::move(Var);
+  N->Value = std::move(Value);
+  return N;
+}
+
+CgNodePtr CgNode::call(unsigned StmtId, std::vector<CgExpr> Args) {
+  auto N = std::make_unique<CgNode>();
+  N->K = Kind::Call;
+  N->StmtId = StmtId;
+  N->Args = std::move(Args);
+  return N;
+}
+
+namespace {
+
+void collectUses(const CgExpr &E, std::set<std::string> &Used) {
+  for (const auto &[Name, Coef] : E.Terms)
+    Used.insert(Name);
+  for (const CgExpr &A : E.Args)
+    collectUses(A, Used);
+}
+
+void collectUses(const CgNode &N, std::set<std::string> &Used) {
+  collectUses(N.Lb, Used);
+  collectUses(N.Ub, Used);
+  collectUses(N.Value, Used);
+  for (const CgCond &C : N.Conds)
+    collectUses(C.Expr, Used);
+  for (const CgExpr &A : N.Args)
+    collectUses(A, Used);
+  for (const CgNodePtr &C : N.Children)
+    collectUses(*C, Used);
+}
+
+/// True if the subtree contains at least one statement call.
+bool hasCall(const CgNode &N) {
+  if (N.K == CgNode::Kind::Call)
+    return true;
+  for (const CgNodePtr &C : N.Children)
+    if (hasCall(*C))
+      return true;
+  return false;
+}
+
+} // namespace
+
+void pluto::simplifyAst(CgNodePtr &N) {
+  if (!N)
+    return;
+  for (CgNodePtr &C : N->Children)
+    simplifyAst(C);
+  // Drop empty children.
+  std::vector<CgNodePtr> Kept;
+  for (CgNodePtr &C : N->Children) {
+    if (!C)
+      continue;
+    if (C->K != CgNode::Kind::Call && !hasCall(*C))
+      continue;
+    Kept.push_back(std::move(C));
+  }
+  N->Children = std::move(Kept);
+  // Splice nested blocks.
+  if (N->K == CgNode::Kind::Block) {
+    std::vector<CgNodePtr> Flat;
+    for (CgNodePtr &C : N->Children) {
+      if (C->K == CgNode::Kind::Block) {
+        for (CgNodePtr &G : C->Children)
+          Flat.push_back(std::move(G));
+      } else {
+        Flat.push_back(std::move(C));
+      }
+    }
+    N->Children = std::move(Flat);
+  }
+  // Dead Let: variable never read below.
+  if (N->K == CgNode::Kind::Let) {
+    std::set<std::string> Used;
+    for (const CgNodePtr &C : N->Children)
+      collectUses(*C, Used);
+    if (!Used.count(N->Var)) {
+      // Replace by a block of the children.
+      CgNodePtr B = CgNode::block();
+      B->Children = std::move(N->Children);
+      N = std::move(B);
+      simplifyAst(N);
+      return;
+    }
+  }
+  // Guard with no conditions: splice.
+  if (N->K == CgNode::Kind::If && N->Conds.empty()) {
+    CgNodePtr B = CgNode::block();
+    B->Children = std::move(N->Children);
+    N = std::move(B);
+    return;
+  }
+  // Single-child block collapses to the child.
+  if (N->K == CgNode::Kind::Block && N->Children.size() == 1)
+    N = std::move(N->Children[0]);
+}

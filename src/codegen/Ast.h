@@ -1,0 +1,103 @@
+//===- codegen/Ast.h - Generated loop AST -----------------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop AST produced by the polyhedral code generator ("clast" in CLooG
+/// terms): loops with max/min/floord/ceild bounds, guards, exact integer
+/// assignments for equality-determined dimensions, and statement calls with
+/// reconstructed original-iterator arguments. The same AST is rendered to C
+/// (codegen/CEmitter) and executed directly by the interpreter
+/// (runtime/Interpreter) for semantics-equivalence testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_CODEGEN_AST_H
+#define PLUTOPP_CODEGEN_AST_H
+
+#include "support/BigInt.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+/// Quasi-affine bound expression: affine terms over named integer variables,
+/// optionally floor/ceil-divided, combined with min/max.
+struct CgExpr {
+  enum class Kind {
+    Affine, ///< Terms + ConstTerm.
+    Floord, ///< floord(Args[0], Den); Args[0] is Affine.
+    Ceild,  ///< ceild(Args[0], Den).
+    Min,    ///< min over Args.
+    Max,    ///< max over Args.
+  };
+  Kind K = Kind::Affine;
+  std::vector<std::pair<std::string, BigInt>> Terms;
+  BigInt ConstTerm;
+  BigInt Den;
+  std::vector<CgExpr> Args;
+
+  static CgExpr affine(std::vector<std::pair<std::string, BigInt>> Terms,
+                       BigInt Const);
+  static CgExpr constant(long long V);
+  static CgExpr floord(CgExpr Num, BigInt Den);
+  static CgExpr ceild(CgExpr Num, BigInt Den);
+  static CgExpr makeMin(std::vector<CgExpr> Args);
+  static CgExpr makeMax(std::vector<CgExpr> Args);
+
+  /// Renders as a C expression (uses floord/ceild/min/max helper macros).
+  std::string toC() const;
+};
+
+/// A guard condition.
+struct CgCond {
+  /// Expr >= 0 when Mod == 0; otherwise Expr % Mod == 0 (divisibility).
+  CgExpr Expr;
+  BigInt Mod;
+
+  std::string toC() const;
+};
+
+struct CgNode;
+using CgNodePtr = std::unique_ptr<CgNode>;
+
+/// One node of the generated loop nest.
+struct CgNode {
+  enum class Kind {
+    Block, ///< Children in sequence.
+    Loop,  ///< for (Var = Lb; Var <= Ub; Var++) Children.
+    If,    ///< if (Conds...) Children.
+    Let,   ///< int Var = Value; (equality-determined dimension).
+    Call,  ///< Statement instance: StmtId with Args = original iter values.
+  };
+  Kind K = Kind::Block;
+  std::string Var;
+  CgExpr Lb, Ub, Value;
+  std::vector<CgCond> Conds;
+  unsigned StmtId = 0;
+  std::vector<CgExpr> Args;
+  /// Loop annotations.
+  bool Parallel = false; ///< Emit "#pragma omp parallel for".
+  bool Vector = false;   ///< Emit "#pragma omp simd".
+  std::vector<CgNodePtr> Children;
+
+  static CgNodePtr block();
+  static CgNodePtr loop(std::string Var, CgExpr Lb, CgExpr Ub);
+  static CgNodePtr guard(std::vector<CgCond> Conds);
+  static CgNodePtr let(std::string Var, CgExpr Value);
+  static CgNodePtr call(unsigned StmtId, std::vector<CgExpr> Args);
+};
+
+/// Cleans up a generated AST: removes Let bindings whose variable is never
+/// read (tile supernodes are often fully determined but unused), splices
+/// single-child blocks, and drops empty guards/blocks. Purely cosmetic -
+/// semantics are unchanged.
+void simplifyAst(CgNodePtr &N);
+
+} // namespace pluto
+
+#endif // PLUTOPP_CODEGEN_AST_H

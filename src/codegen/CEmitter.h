@@ -1,0 +1,54 @@
+//===- codegen/CEmitter.h - OpenMP C source emission ------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the generated loop AST as a complete, compilable C99/OpenMP
+/// translation unit: helper macros (floord/ceild/min/max), one statement
+/// macro per statement (paper Figure 3(d) style), and a single extern
+/// function whose signature is
+///   void <name>(double *A0, ..., long long P0, ..., double C0, ...)
+/// with the arrays in Program::Arrays order (multi-dimensional arrays are
+/// reconstituted with C99 variable-length-array casts from caller-supplied
+/// extent expressions), the integer parameters in ParamNames order, and the
+/// opaque double constants (SymConsts) last.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_CODEGEN_CEMITTER_H
+#define PLUTOPP_CODEGEN_CEMITTER_H
+
+#include "codegen/Ast.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+struct EmitOptions {
+  std::string FunctionName = "kernel";
+  /// Extent expressions (in the integer parameters) per array, outermost
+  /// dimension first; required for every array of rank >= 2, and for rank-1
+  /// arrays only documentation. E.g. {"a", {"N", "N"}}.
+  std::map<std::string, std::vector<std::string>> Extents;
+  /// Names of opaque double-valued constants (frontend SymConsts).
+  std::vector<std::string> SymConsts;
+  /// Emit OpenMP pragmas (parallel loops must also be flagged in the AST).
+  bool OpenMP = true;
+};
+
+/// Renders a full C translation unit executing Root over Prog's statements.
+std::string emitC(const Program &Prog, const CgNode &Root,
+                  const EmitOptions &Opts);
+
+/// Renders only the loop nest (for tests / human inspection).
+std::string emitLoopNest(const Program &Prog, const CgNode &Root,
+                         bool OpenMP = true);
+
+} // namespace pluto
+
+#endif // PLUTOPP_CODEGEN_CEMITTER_H

@@ -1,0 +1,353 @@
+//===- deps/Dependences.cpp - Polyhedral dependence analysis --------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/Dependences.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace pluto;
+
+const char *pluto::depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  case DepKind::Input:
+    return "input";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Helper that embeds statement-local rows into the dependence space
+/// [src iters (NS) | dst iters (NT) | params (NP) | 1].
+class DepBuilder {
+public:
+  DepBuilder(const Program &Prog, const Statement &Src, const Statement &Dst)
+      : Prog(Prog), Src(Src), Dst(Dst), NS(Src.numIters()),
+        NT(Dst.numIters()), NP(Prog.numParams()) {}
+
+  unsigned numVars() const { return NS + NT + NP; }
+
+  /// Remaps a row over [iters | params | 1] of Src (IsSrc) or Dst into the
+  /// dependence space, optionally negated.
+  std::vector<BigInt> embed(const std::vector<BigInt> &Row, bool IsSrc,
+                            bool Negate = false) const {
+    unsigned NIter = IsSrc ? NS : NT;
+    unsigned Offset = IsSrc ? 0 : NS;
+    std::vector<BigInt> R(numVars() + 1, BigInt(0));
+    for (unsigned I = 0; I < NIter; ++I)
+      R[Offset + I] = Row[I];
+    for (unsigned P = 0; P < NP; ++P)
+      R[NS + NT + P] = Row[NIter + P];
+    R[numVars()] = Row[NIter + NP];
+    if (Negate)
+      for (BigInt &V : R)
+        V = -V;
+    return R;
+  }
+
+  /// Base polyhedron: both domains plus the program context.
+  ConstraintSystem base() const {
+    ConstraintSystem CS(numVars());
+    auto addDomain = [&](const Statement &S, bool IsSrc) {
+      const ConstraintSystem &D = S.Domain;
+      for (unsigned R = 0; R < D.ineqs().numRows(); ++R)
+        CS.addIneq(embed(D.ineqs().row(R), IsSrc));
+      for (unsigned R = 0; R < D.eqs().numRows(); ++R)
+        CS.addEq(embed(D.eqs().row(R), IsSrc));
+    };
+    addDomain(Src, /*IsSrc=*/true);
+    addDomain(Dst, /*IsSrc=*/false);
+    Prog.appendContextTo(CS, NS + NT);
+    return CS;
+  }
+
+  /// Adds F_src(s) == F_dst(t) rows (conflicting accesses touch the same
+  /// element).
+  void addAccessEquality(ConstraintSystem &CS, const Access &A,
+                         const Access &B) const {
+    assert(A.Map.numRows() == B.Map.numRows() &&
+           "conflicting accesses with different ranks");
+    for (unsigned R = 0; R < A.Map.numRows(); ++R) {
+      std::vector<BigInt> SRow = embed(A.Map.row(R), /*IsSrc=*/true);
+      std::vector<BigInt> TRow = embed(B.Map.row(R), /*IsSrc=*/false);
+      for (unsigned I = 0; I <= numVars(); ++I)
+        SRow[I] -= TRow[I];
+      CS.addEq(std::move(SRow));
+    }
+  }
+
+  /// Adds the ordering constraints for carry level L (1-based): equal on
+  /// the first L-1 common loops, source strictly earlier on loop L.
+  void addCarriedOrder(ConstraintSystem &CS, unsigned L) const {
+    for (unsigned K = 0; K + 1 < L; ++K) {
+      std::vector<BigInt> Eq(numVars() + 1, BigInt(0));
+      Eq[K] = BigInt(1);
+      Eq[NS + K] = BigInt(-1);
+      CS.addEq(std::move(Eq));
+    }
+    std::vector<BigInt> Lt(numVars() + 1, BigInt(0));
+    Lt[L - 1] = BigInt(-1);
+    Lt[NS + L - 1] = BigInt(1);
+    Lt[numVars()] = BigInt(-1); // t_L - s_L - 1 >= 0.
+    CS.addIneq(std::move(Lt));
+  }
+
+  /// Adds equality on all Common loops (loop-independent ordering).
+  void addLoopIndependentOrder(ConstraintSystem &CS, unsigned Common) const {
+    for (unsigned K = 0; K < Common; ++K) {
+      std::vector<BigInt> Eq(numVars() + 1, BigInt(0));
+      Eq[K] = BigInt(1);
+      Eq[NS + K] = BigInt(-1);
+      CS.addEq(std::move(Eq));
+    }
+  }
+
+private:
+  const Program &Prog;
+  const Statement &Src;
+  const Statement &Dst;
+  unsigned NS, NT, NP;
+};
+
+DepKind kindOf(bool SrcWrite, bool DstWrite) {
+  if (SrcWrite && DstWrite)
+    return DepKind::Output;
+  if (SrcWrite)
+    return DepKind::Flow;
+  if (DstWrite)
+    return DepKind::Anti;
+  return DepKind::Input;
+}
+
+} // namespace
+
+DependenceGraph pluto::computeDependences(const Program &Prog,
+                                          const DepOptions &Opts) {
+  DependenceGraph G;
+
+  unsigned MaxRank = 0;
+  for (const ArrayInfo &A : Prog.Arrays)
+    MaxRank = std::max(MaxRank, A.Rank);
+
+  for (unsigned SI = 0; SI < Prog.Stmts.size(); ++SI) {
+    for (unsigned TI = 0; TI < Prog.Stmts.size(); ++TI) {
+      const Statement &S = Prog.Stmts[SI];
+      const Statement &T = Prog.Stmts[TI];
+      unsigned Common = Prog.commonLoopDepth(S, T);
+      bool SBeforeT = Prog.textuallyBefore(S, T);
+
+      for (unsigned AI = 0; AI < S.Accesses.size(); ++AI) {
+        for (unsigned BI = 0; BI < T.Accesses.size(); ++BI) {
+          const Access &A = S.Accesses[AI];
+          const Access &B = T.Accesses[BI];
+          if (A.Array != B.Array)
+            continue;
+          DepKind Kind = kindOf(A.IsWrite, B.IsWrite);
+          if (Kind == DepKind::Input) {
+            // Input deps are symmetric and carry no ordering: emit each
+            // unordered pair once, from the earlier (stmt, acc) index, and
+            // skip scalar/self-reference noise.
+            if (!Opts.IncludeInputDeps)
+              continue;
+            // Each unordered pair once; the (acc, acc) self-pair is kept -
+            // it captures self-temporal reuse of a reference (e.g. a[i][k]
+            // across j iterations in matmul).
+            if (std::make_pair(SI, AI) > std::make_pair(TI, BI))
+              continue;
+            if (A.Map.numRows() == 0)
+              continue; // Scalar RAR: no reuse direction to optimize.
+            if (Opts.InputDepsMaxRankOnly && A.Map.numRows() < MaxRank)
+              continue; // Lower-rank reuse is asymptotically dominated.
+            DepBuilder DB(Prog, S, T);
+            ConstraintSystem CS = DB.base();
+            DB.addAccessEquality(CS, A, B);
+            if (!CS.normalize() || CS.isIntegerEmpty())
+              continue;
+            Dependence D;
+            D.SrcStmt = SI;
+            D.DstStmt = TI;
+            D.SrcAcc = AI;
+            D.DstAcc = BI;
+            D.Kind = Kind;
+            D.Poly = std::move(CS);
+            G.Deps.push_back(std::move(D));
+            continue;
+          }
+
+          DepBuilder DB(Prog, S, T);
+          // Loop-carried candidates at each common level.
+          for (unsigned L = 1; L <= Common; ++L) {
+            ConstraintSystem CS = DB.base();
+            DB.addAccessEquality(CS, A, B);
+            DB.addCarriedOrder(CS, L);
+            if (!CS.normalize() || CS.isIntegerEmpty())
+              continue;
+            Dependence D;
+            D.SrcStmt = SI;
+            D.DstStmt = TI;
+            D.SrcAcc = AI;
+            D.DstAcc = BI;
+            D.Kind = Kind;
+            D.CarryLevel = L;
+            D.Poly = std::move(CS);
+            G.Deps.push_back(std::move(D));
+          }
+          // Loop-independent candidate: distinct statements only, source
+          // textually first.
+          if (SI != TI && SBeforeT) {
+            ConstraintSystem CS = DB.base();
+            DB.addAccessEquality(CS, A, B);
+            DB.addLoopIndependentOrder(CS, Common);
+            if (!CS.normalize() || CS.isIntegerEmpty())
+              continue;
+            Dependence D;
+            D.SrcStmt = SI;
+            D.DstStmt = TI;
+            D.SrcAcc = AI;
+            D.DstAcc = BI;
+            D.Kind = Kind;
+            D.CarryLevel = 0;
+            D.Poly = std::move(CS);
+            G.Deps.push_back(std::move(D));
+          }
+        }
+      }
+    }
+  }
+  return G;
+}
+
+unsigned DependenceGraph::numLegalityDeps() const {
+  unsigned N = 0;
+  for (const Dependence &D : Deps)
+    N += D.isLegalityDep();
+  return N;
+}
+
+std::vector<unsigned> DependenceGraph::sccIds(unsigned NumStmts) const {
+  // Tarjan's algorithm over the statement graph induced by unsatisfied
+  // legality dependences.
+  std::vector<std::vector<unsigned>> Adj(NumStmts);
+  for (const Dependence &D : Deps)
+    if (D.isLegalityDep() && !D.satisfied() && D.SrcStmt != D.DstStmt)
+      Adj[D.SrcStmt].push_back(D.DstStmt);
+
+  std::vector<int> Index(NumStmts, -1), Low(NumStmts, 0);
+  std::vector<bool> OnStack(NumStmts, false);
+  std::vector<unsigned> Stack;
+  std::vector<int> Comp(NumStmts, -1);
+  int NextIndex = 0, NumComps = 0;
+
+  std::function<void(unsigned)> strongConnect = [&](unsigned V) {
+    Index[V] = Low[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    for (unsigned W : Adj[V]) {
+      if (Index[W] < 0) {
+        strongConnect(W);
+        Low[V] = std::min(Low[V], Low[W]);
+      } else if (OnStack[W]) {
+        Low[V] = std::min(Low[V], Index[W]);
+      }
+    }
+    if (Low[V] == Index[V]) {
+      for (;;) {
+        unsigned W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        Comp[W] = NumComps;
+        if (W == V)
+          break;
+      }
+      ++NumComps;
+    }
+  };
+  for (unsigned V = 0; V < NumStmts; ++V)
+    if (Index[V] < 0)
+      strongConnect(V);
+
+  // Tarjan numbers components in reverse topological order; renumber so
+  // sources get lower ids, breaking ties by statement order (stable
+  // fusion structure).
+  std::vector<unsigned> Ids(NumStmts);
+  std::vector<int> Remap(NumComps, -1);
+  unsigned Next = 0;
+  // A component's topological position: iterate statements in textual
+  // order, but a component can only be numbered once all its predecessors
+  // are. Kahn's algorithm over the condensed graph:
+  std::vector<std::vector<unsigned>> CompAdj(NumComps);
+  std::vector<unsigned> InDeg(NumComps, 0);
+  for (unsigned V = 0; V < NumStmts; ++V)
+    for (unsigned W : Adj[V])
+      if (Comp[V] != Comp[W]) {
+        CompAdj[Comp[V]].push_back(static_cast<unsigned>(Comp[W]));
+        ++InDeg[Comp[W]];
+      }
+  // Kahn with a priority on the smallest statement id in the component so
+  // the order is deterministic and close to textual order.
+  std::vector<int> MinStmt(NumComps, -1);
+  for (unsigned V = 0; V < NumStmts; ++V)
+    if (MinStmt[Comp[V]] < 0)
+      MinStmt[Comp[V]] = static_cast<int>(V);
+  std::vector<unsigned> Ready;
+  for (int C = 0; C < NumComps; ++C)
+    if (InDeg[C] == 0)
+      Ready.push_back(static_cast<unsigned>(C));
+  while (!Ready.empty()) {
+    auto Best = std::min_element(
+        Ready.begin(), Ready.end(),
+        [&](unsigned A, unsigned B) { return MinStmt[A] < MinStmt[B]; });
+    unsigned C = *Best;
+    Ready.erase(Best);
+    Remap[C] = static_cast<int>(Next++);
+    for (unsigned W : CompAdj[C])
+      if (--InDeg[W] == 0)
+        Ready.push_back(W);
+  }
+  for (unsigned V = 0; V < NumStmts; ++V)
+    Ids[V] = static_cast<unsigned>(Remap[Comp[V]]);
+  return Ids;
+}
+
+unsigned DependenceGraph::numSccs(unsigned NumStmts) const {
+  std::vector<unsigned> Ids = sccIds(NumStmts);
+  unsigned Max = 0;
+  for (unsigned I : Ids)
+    Max = std::max(Max, I + 1);
+  return NumStmts == 0 ? 0 : Max;
+}
+
+std::string DependenceGraph::toString(const Program &Prog) const {
+  std::string S;
+  for (const Dependence &D : Deps) {
+    const Statement &Src = Prog.Stmts[D.SrcStmt];
+    const Statement &Dst = Prog.Stmts[D.DstStmt];
+    S += std::string(depKindName(D.Kind)) + " S" + std::to_string(D.SrcStmt) +
+         " -> S" + std::to_string(D.DstStmt) + " on '" +
+         Src.Accesses[D.SrcAcc].Array + "'";
+    if (D.Kind != DepKind::Input)
+      S += D.CarryLevel == 0
+               ? " (loop-independent)"
+               : " (carried at level " + std::to_string(D.CarryLevel) + ")";
+    S += "\n";
+    std::vector<std::string> Names;
+    for (const std::string &N : Src.IterNames)
+      Names.push_back(N + "_s");
+    for (const std::string &N : Dst.IterNames)
+      Names.push_back(N + "_t");
+    for (const std::string &N : Prog.ParamNames)
+      Names.push_back(N);
+    S += D.Poly.toString(Names);
+  }
+  return S;
+}

@@ -1,0 +1,101 @@
+//===- driver/Driver.cpp - One-shot optimization pipeline -----------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+using namespace pluto;
+
+Result<PlutoResult> pluto::lowerSchedule(ParsedProgram Parsed,
+                                         DependenceGraph DG, Schedule Sched,
+                                         const PlutoOptions &Opts) {
+  PlutoResult R;
+  R.Parsed = std::move(Parsed);
+  R.DG = std::move(DG);
+  R.Sched = std::move(Sched);
+  R.Sc = buildScop(R.Parsed.Prog, R.Sched);
+
+  if (Opts.Tile) {
+    std::vector<Schedule::Band> TileBands =
+        tileAllBands(R.Sc, Opts.TileSize, /*MinWidth=*/2);
+    if (Opts.SecondLevelTile) {
+      // Tile the tile-space bands again, innermost (largest start) first so
+      // recorded starts stay valid while rows are inserted.
+      for (auto It = TileBands.rbegin(); It != TileBands.rend(); ++It) {
+        std::vector<unsigned> Sizes(It->Width, Opts.L2TileSize);
+        tileBand(R.Sc, *It, Sizes);
+      }
+    }
+  }
+
+  if (Opts.Parallelize && Opts.Tile) {
+    // Wavefront the outermost TILE band when it lacks a parallel loop
+    // (Algorithm 2). The wavefront is a tile-space transformation: applied
+    // to untiled point loops it would serialize along a diagonal with poor
+    // locality, so without tiling we rely on existing parallel rows only.
+    std::vector<Schedule::Band> Bands = R.Sc.bands();
+    if (!Bands.empty())
+      wavefrontBand(R.Sc, Bands.front(), Opts.WavefrontDegrees);
+  }
+
+  if (Opts.Vectorize)
+    reorderForVectorization(R.Sc);
+
+  // Parallel pragma placement: the outermost parallel loop row; prefer a
+  // row that is not the vectorized one when possible.
+  CodeGenOptions CG = Opts.CG;
+  if (Opts.Parallelize && CG.ParallelPragmaRows.empty()) {
+    int First = -1, FirstNonVector = -1;
+    for (unsigned Row = 0; Row < R.Sc.numRows(); ++Row) {
+      if (R.Sc.Rows[Row].IsScalar || !R.Sc.Rows[Row].IsParallel)
+        continue;
+      if (First < 0)
+        First = static_cast<int>(Row);
+      if (FirstNonVector < 0 && !R.Sc.Rows[Row].IsVector)
+        FirstNonVector = static_cast<int>(Row);
+    }
+    int Pick = FirstNonVector >= 0 ? FirstNonVector : First;
+    if (Pick >= 0)
+      CG.ParallelPragmaRows.insert(static_cast<unsigned>(Pick));
+  }
+
+  auto Ast = generateAst(R.Sc, CG);
+  if (!Ast)
+    return Err(Ast.error());
+  R.Ast = std::move(*Ast);
+  simplifyAst(R.Ast);
+  return R;
+}
+
+Result<PlutoResult> pluto::optimizeSource(const std::string &Source,
+                                          const PlutoOptions &Opts) {
+  auto Parsed = parseSource(Source);
+  if (!Parsed)
+    return Err(Parsed.error());
+  for (const std::string &P : Parsed->Prog.ParamNames)
+    Parsed->Prog.addContextBound(P, Opts.ParamMin);
+
+  DepOptions DO;
+  DO.IncludeInputDeps = Opts.IncludeInputDeps;
+  DependenceGraph DG = computeDependences(Parsed->Prog, DO);
+
+  auto Sched = computeSchedule(Parsed->Prog, DG);
+  if (!Sched)
+    return Err(Sched.error());
+
+  return lowerSchedule(std::move(*Parsed), std::move(DG), std::move(*Sched),
+                       Opts);
+}
+
+Result<CgNodePtr> pluto::buildOriginalAst(const Program &Prog) {
+  Schedule Ident = identitySchedule(Prog);
+  Scop Sc = buildScop(Prog, Ident);
+  CodeGenOptions CG;
+  auto Ast = generateAst(Sc, CG);
+  if (!Ast)
+    return Ast;
+  simplifyAst(*Ast);
+  return Ast;
+}

@@ -1,0 +1,77 @@
+//===- driver/Driver.h - One-shot optimization pipeline ---------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end source-to-source pipeline (paper Figure 5): parse ->
+/// dependence analysis -> Pluto transformation -> tiling -> wavefront ->
+/// intra-tile reordering -> code generation. This is the public entry point
+/// a downstream user calls; individual stages remain available for tools
+/// that need finer control (e.g. forcing comparison transformations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_DRIVER_DRIVER_H
+#define PLUTOPP_DRIVER_DRIVER_H
+
+#include "codegen/CEmitter.h"
+#include "codegen/CodeGen.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+#include "tile/Tiling.h"
+#include "transform/PlutoTransform.h"
+
+namespace pluto {
+
+/// Options for the one-shot pipeline.
+struct PlutoOptions {
+  /// Tile every permutable band of width >= 2 (Algorithm 1).
+  bool Tile = true;
+  unsigned TileSize = 32;
+  /// Tile the tile space once more (L2 tiling, Section 5.2 "Tiling multiple
+  /// times"); the L2 size multiplies the L1 size.
+  bool SecondLevelTile = false;
+  unsigned L2TileSize = 8;
+  /// Extract coarse-grained parallelism: mark communication-free bands
+  /// parallel, wavefront pipelined bands (Algorithm 2).
+  bool Parallelize = true;
+  unsigned WavefrontDegrees = 1;
+  /// Intra-tile reordering + vectorization pragma (Section 5.4).
+  bool Vectorize = true;
+  /// Consider read-after-read dependences (Section 4.1).
+  bool IncludeInputDeps = true;
+  /// Context assumption added for every parameter: p >= ParamMin.
+  long long ParamMin = 4;
+  CodeGenOptions CG;
+};
+
+/// Everything the pipeline produced, stage by stage.
+struct PlutoResult {
+  ParsedProgram Parsed;
+  DependenceGraph DG;
+  Schedule Sched;
+  Scop Sc;
+  CgNodePtr Ast;
+
+  const Program &program() const { return Parsed.Prog; }
+};
+
+/// Runs the full pipeline on restricted-C source.
+Result<PlutoResult> optimizeSource(const std::string &Source,
+                                   const PlutoOptions &Opts = PlutoOptions());
+
+/// Applies the post-schedule stages (scop building, tiling, wavefront,
+/// vectorization, codegen) to an existing schedule - the hook used to
+/// evaluate forced comparison transformations (Section 7's baselines).
+Result<PlutoResult> lowerSchedule(ParsedProgram Parsed, DependenceGraph DG,
+                                  Schedule Sched, const PlutoOptions &Opts);
+
+/// Builds the untransformed-program AST (identity 2d+1 schedule) for
+/// baseline execution through the same code generator.
+Result<CgNodePtr> buildOriginalAst(const Program &Prog);
+
+} // namespace pluto
+
+#endif // PLUTOPP_DRIVER_DRIVER_H

@@ -1,0 +1,294 @@
+//===- ilp/LexMin.cpp - Integer lexicographic minimization ----------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tableau layout. Rows are affine expressions, over the current non-basic
+// variables u (columns 0..n-1) plus a constant column n, of quantities that
+// must be non-negative at any feasible point:
+//   rows 0..n-1:     the problem variables x_i (initially x_i = u_i);
+//   rows n..n+m-1:   the slack of each inequality;
+//   later rows:      Gomory cut quantities (integers >= 0 at integer points).
+//
+// Invariants:
+//   (1) every non-basic u_j is itself a non-negative quantity;
+//   (2) every column, read down the rows in order, is lexico-positive (or
+//       identically zero once a variable drops out).
+// With all u = 0 the candidate point is the constant column; when every
+// constant is >= 0 the candidate is feasible and - by (2) and u >= 0 - it is
+// the lexicographic minimum of the relaxation. A dual simplex pivot repairs
+// the first negative constant while preserving both invariants by choosing
+// the entering column j > 0 in row r that lexicographically minimizes
+// column_j / D[r][j]. If the optimum is fractional, a Gomory cut derived
+// from the first fractional variable row is appended and the dual simplex
+// resumes. This is exactly PIP's algorithm without the parameter dimension.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/LexMin.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pluto;
+using namespace pluto::ilp;
+
+/// Set PLUTOPP_DEBUG_ILP=1 to trace pivots on stderr.
+static bool debugIlp() {
+  static bool Enabled = std::getenv("PLUTOPP_DEBUG_ILP") != nullptr;
+  return Enabled;
+}
+
+namespace {
+
+class Tableau {
+public:
+  Tableau(const IntMatrix &Ineqs, const IntMatrix &Eqs, unsigned NumVars)
+      : NumVars(NumVars) {
+    // Read-out rows: x_i = u_i. These are the lexicographic objective; they
+    // are never selected as pivot rows (their non-negativity is enforced by
+    // the duplicate slack rows added below), so they always transform
+    // linearly and the column lexico-positivity argument stays valid.
+    for (unsigned I = 0; I < NumVars; ++I) {
+      std::vector<Rational> Row(NumVars + 1, Rational(0));
+      Row[I] = Rational(1);
+      Rows.push_back(std::move(Row));
+    }
+    // Slack twins enforcing x_i >= 0.
+    for (unsigned I = 0; I < NumVars; ++I) {
+      std::vector<Rational> Row(NumVars + 1, Rational(0));
+      Row[I] = Rational(1);
+      Rows.push_back(std::move(Row));
+    }
+    auto addConstraintRow = [&](const IntMatrix &M, unsigned R, bool Negate) {
+      std::vector<Rational> Row(NumVars + 1, Rational(0));
+      for (unsigned C = 0; C <= NumVars; ++C) {
+        BigInt V = M(R, C);
+        Row[C] = Rational(Negate ? -V : V);
+      }
+      Rows.push_back(std::move(Row));
+    };
+    for (unsigned R = 0; R < Ineqs.numRows(); ++R)
+      addConstraintRow(Ineqs, R, /*Negate=*/false);
+    for (unsigned R = 0; R < Eqs.numRows(); ++R) {
+      addConstraintRow(Eqs, R, /*Negate=*/false);
+      addConstraintRow(Eqs, R, /*Negate=*/true);
+    }
+  }
+
+  /// Runs the dual simplex until primal feasible; returns false if the
+  /// system is (rationally, hence integrally) infeasible.
+  bool dualSimplex() {
+    for (;;) {
+      if (++Iterations > MaxIterations)
+        return Aborted = true, false;
+      int R = firstNegativeConstantRow();
+      if (R < 0)
+        return true;
+      int J = chooseEnteringColumn(static_cast<unsigned>(R));
+      if (J < 0)
+        return false; // All coefficients <= 0: row can never become >= 0.
+      if (debugIlp())
+        fprintf(stderr, "[ilp] pivot row %d col %d (const %s)\n", R, J,
+                Rows[static_cast<unsigned>(R)][NumVars].toString().c_str());
+      pivot(static_cast<unsigned>(R), static_cast<unsigned>(J));
+      if (debugIlp())
+        checkLexPositive();
+    }
+  }
+
+  /// Index of the first variable row whose constant is non-integral, or -1.
+  int firstFractionalVarRow() const {
+    for (unsigned I = 0; I < NumVars; ++I)
+      if (!Rows[I][NumVars].isInteger())
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Appends the Gomory cut derived from row SrcRow:
+  ///   sum_j frac(D[r][j]) u_j + frac(D[r][n]) - 1 >= 0.
+  void addGomoryCut(unsigned SrcRow) {
+    std::vector<Rational> Cut(NumVars + 1, Rational(0));
+    for (unsigned C = 0; C < NumVars; ++C)
+      Cut[C] = Rows[SrcRow][C].fract();
+    Cut[NumVars] = Rows[SrcRow][NumVars].fract() - Rational(1);
+    Rows.push_back(std::move(Cut));
+  }
+
+  std::vector<BigInt> varValues() const {
+    std::vector<BigInt> V;
+    V.reserve(NumVars);
+    for (unsigned I = 0; I < NumVars; ++I) {
+      assert(Rows[I][NumVars].isInteger() && "reading fractional solution");
+      V.push_back(Rows[I][NumVars].num());
+    }
+    return V;
+  }
+
+  bool aborted() const { return Aborted; }
+
+private:
+  unsigned NumVars;
+  std::vector<std::vector<Rational>> Rows;
+  unsigned Iterations = 0;
+  bool Aborted = false;
+  // Generous cap; the structured systems Pluto produces pivot a few dozen
+  // times. The cap only guards against pathological cycling.
+  static constexpr unsigned MaxIterations = 200000;
+
+  /// Debug invariant: the read-out (objective) part of every column is
+  /// lexico-non-negative. This is what certifies lex-minimality at
+  /// termination.
+  void checkLexPositive() const {
+    for (unsigned J = 0; J < NumVars; ++J) {
+      for (unsigned I = 0; I < NumVars; ++I) {
+        if (Rows[I][J].isZero())
+          continue;
+        if (Rows[I][J].isNegative())
+          fprintf(stderr, "[ilp] BROKEN: column %u objective-lex-negative\n",
+                  J);
+        break;
+      }
+    }
+  }
+
+  int firstNegativeConstantRow() const {
+    // Read-out rows (the first NumVars) are repaired through their slack
+    // twins; start the scan past them.
+    for (unsigned I = NumVars, E = static_cast<unsigned>(Rows.size()); I < E;
+         ++I)
+      if (Rows[I][NumVars].isNegative())
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Lexicographic comparison of column A scaled by 1/SA against column B
+  /// scaled by 1/SB, reading rows top-down. Returns negative if A/SA is
+  /// lex-smaller.
+  int compareScaledColumns(unsigned A, const Rational &SA, unsigned B,
+                           const Rational &SB) const {
+    for (const auto &Row : Rows) {
+      Rational VA = Row[A] / SA;
+      Rational VB = Row[B] / SB;
+      int C = VA.compare(VB);
+      if (C != 0)
+        return C;
+    }
+    return 0;
+  }
+
+  /// Among columns with a positive coefficient in row R, picks the one with
+  /// the lexicographically smallest column/coefficient ratio (preserves
+  /// column lexico-positivity). Returns -1 if none qualifies.
+  int chooseEnteringColumn(unsigned R) const {
+    int Best = -1;
+    for (unsigned J = 0; J < NumVars; ++J) {
+      if (!Rows[R][J].isPositive())
+        continue;
+      if (Best < 0 ||
+          compareScaledColumns(J, Rows[R][J], static_cast<unsigned>(Best),
+                               Rows[R][static_cast<unsigned>(Best)]) < 0)
+        Best = static_cast<int>(J);
+    }
+    return Best;
+  }
+
+  /// Pivots: the quantity of row R leaves the row set's basis and becomes
+  /// the non-basic variable of column J.
+  void pivot(unsigned R, unsigned J) {
+    Rational P = Rows[R][J];
+    assert(P.isPositive() && "pivot element must be positive");
+    // Rewrite row R as the definition of the old u_J:
+    //   u_J = (q - sum_{c != J} D[R][c] u_c - D[R][n]) / P,
+    // then substitute into every other row. In tableau terms:
+    //   new col J of row i      = D[i][J] / P
+    //   new col c (c != J)      = D[i][c] - D[i][J] * D[R][c] / P
+    //   new const               = D[i][n] - D[i][J] * D[R][n] / P
+    // and row R itself becomes u_J's definition with coefficient pattern
+    // (1/P on the new q column, -D[R][c]/P elsewhere, -D[R][n]/P const).
+    std::vector<Rational> OldR = Rows[R];
+    for (unsigned I = 0, E = static_cast<unsigned>(Rows.size()); I < E; ++I) {
+      if (I == R)
+        continue;
+      Rational F = Rows[I][J] / P;
+      if (F.isZero())
+        continue;
+      for (unsigned C = 0; C <= NumVars; ++C) {
+        if (C == J)
+          Rows[I][C] = F;
+        else
+          Rows[I][C] -= F * OldR[C];
+      }
+    }
+    for (unsigned C = 0; C <= NumVars; ++C) {
+      if (C == J)
+        Rows[R][C] = Rational(1) / P;
+      else
+        Rows[R][C] = -OldR[C] / P;
+    }
+  }
+};
+
+} // namespace
+
+LexMinResult ilp::lexMinNonNeg(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                               unsigned NumVars) {
+  assert((Ineqs.empty() || Ineqs.numCols() == NumVars + 1) &&
+         "inequality width mismatch");
+  assert((Eqs.empty() || Eqs.numCols() == NumVars + 1) &&
+         "equality width mismatch");
+
+  LexMinResult Result;
+  Tableau T(Ineqs, Eqs, NumVars);
+  // Cut budget: each round restores feasibility then cuts one fractional
+  // coordinate. Structured Pluto systems need a handful of cuts at most.
+  for (unsigned Cuts = 0; Cuts <= 2000; ++Cuts) {
+    if (!T.dualSimplex()) {
+      Result.Status =
+          T.aborted() ? SolveStatus::Aborted : SolveStatus::Infeasible;
+      return Result;
+    }
+    int FracRow = T.firstFractionalVarRow();
+    if (FracRow < 0) {
+      Result.Status = SolveStatus::Feasible;
+      Result.Point = T.varValues();
+      return Result;
+    }
+    T.addGomoryCut(static_cast<unsigned>(FracRow));
+  }
+  Result.Status = SolveStatus::Aborted;
+  return Result;
+}
+
+bool ilp::hasIntegerPoint(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                          unsigned NumVars, std::vector<BigInt> *Witness) {
+  // Split x_i = p_i - n_i with p_i, n_i >= 0.
+  auto split = [&](const IntMatrix &M) {
+    IntMatrix R(2 * NumVars + 1);
+    for (unsigned I = 0; I < M.numRows(); ++I) {
+      std::vector<BigInt> Row(2 * NumVars + 1);
+      for (unsigned J = 0; J < NumVars; ++J) {
+        Row[2 * J] = M(I, J);
+        Row[2 * J + 1] = -M(I, J);
+      }
+      Row[2 * NumVars] = M(I, NumVars);
+      R.addRow(std::move(Row));
+    }
+    return R;
+  };
+  LexMinResult LM = lexMinNonNeg(split(Ineqs), split(Eqs), 2 * NumVars);
+  // On a budget abort (never observed on this code base's systems), answer
+  // conservatively: claiming a point exists keeps dependences and codegen
+  // pieces, which is always safe.
+  if (LM.Status == SolveStatus::Aborted)
+    return true;
+  if (!LM.feasible())
+    return false;
+  if (Witness) {
+    Witness->clear();
+    for (unsigned I = 0; I < NumVars; ++I)
+      Witness->push_back(LM.Point[2 * I] - LM.Point[2 * I + 1]);
+  }
+  return true;
+}

@@ -1,0 +1,66 @@
+//===- ilp/LexMin.h - Integer lexicographic minimization --------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer lexicographic minimization, the solver behind the paper's
+/// objective (5): minimize_lex {u_1, ..., u_k, w, ..., c_i's, ...}.
+///
+/// This is the non-parametric core of PIP (Feautrier, "Parametric integer
+/// programming", 1988), which the original Pluto uses through PipLib: a
+/// lexicographic dual simplex over exact rationals, made integral with
+/// Gomory's method-of-integer-forms cuts. All problem variables are
+/// constrained to be non-negative, matching the paper's practical choice of
+/// non-negative transformation coefficients (Section 4.2); a helper maps
+/// free-sign systems (dependence polyhedra) onto this form by variable
+/// doubling, which gives the exact integer emptiness test the dependence
+/// analyzer needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_ILP_LEXMIN_H
+#define PLUTOPP_ILP_LEXMIN_H
+
+#include "support/Matrix.h"
+
+#include <vector>
+
+namespace pluto {
+namespace ilp {
+
+/// Outcome of a lexmin query.
+enum class SolveStatus {
+  Feasible,   ///< Point holds the integer lexicographic minimum.
+  Infeasible, ///< No integer point satisfies the constraints.
+  Aborted,    ///< Cut/iteration budget exhausted (should not happen on the
+              ///< structured systems this code base produces).
+};
+
+struct LexMinResult {
+  SolveStatus Status = SolveStatus::Infeasible;
+  /// Integer lexmin of the variable vector; size NumVars when Feasible.
+  std::vector<BigInt> Point;
+
+  bool feasible() const { return Status == SolveStatus::Feasible; }
+};
+
+/// Computes the integer lexicographic minimum of x = (x_0, ..., x_{n-1}),
+/// all x_i >= 0, subject to Ineqs * (x, 1) >= 0 and Eqs * (x, 1) == 0.
+/// Both matrices have NumVars + 1 columns (coefficients then the constant
+/// term); either may be empty (zero rows).
+LexMinResult lexMinNonNeg(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                          unsigned NumVars);
+
+/// Integer feasibility of Ineqs * (x, 1) >= 0, Eqs * (x, 1) == 0 where the
+/// x_i may take any sign. Implemented by splitting each variable into a
+/// difference of two non-negative ones. Returns true iff an integer point
+/// exists; if Witness is non-null and a point exists, it receives one.
+bool hasIntegerPoint(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                     unsigned NumVars, std::vector<BigInt> *Witness = nullptr);
+
+} // namespace ilp
+} // namespace pluto
+
+#endif // PLUTOPP_ILP_LEXMIN_H

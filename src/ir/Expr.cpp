@@ -1,0 +1,169 @@
+//===- ir/Expr.cpp - Expression AST for statement bodies ------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+using namespace pluto;
+
+ExprPtr Expr::intLit(long long V) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::IntLit;
+  E->IntValue = V;
+  return E;
+}
+
+ExprPtr Expr::floatLit(std::string Text) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::FloatLit;
+  E->FloatText = std::move(Text);
+  return E;
+}
+
+ExprPtr Expr::var(std::string Name) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Var;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::arrayRef(std::string Name, std::vector<ExprPtr> Subs) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::ArrayRef;
+  E->Name = std::move(Name);
+  E->Args = std::move(Subs);
+  return E;
+}
+
+ExprPtr Expr::unary(std::string Op, ExprPtr Sub) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Unary;
+  E->Op = std::move(Op);
+  E->Args.push_back(std::move(Sub));
+  return E;
+}
+
+ExprPtr Expr::binary(std::string Op, ExprPtr L, ExprPtr R) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Binary;
+  E->Op = std::move(Op);
+  E->Args.push_back(std::move(L));
+  E->Args.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Expr::call(std::string Name, std::vector<ExprPtr> Args) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Call;
+  E->Name = std::move(Name);
+  E->Args = std::move(Args);
+  return E;
+}
+
+std::string Expr::toC(const std::map<std::string, std::string> &Subst) const {
+  switch (K) {
+  case Kind::IntLit:
+    return std::to_string(IntValue);
+  case Kind::FloatLit:
+    return FloatText;
+  case Kind::Var: {
+    auto It = Subst.find(Name);
+    return It != Subst.end() ? "(" + It->second + ")" : Name;
+  }
+  case Kind::ArrayRef: {
+    std::string S = Name;
+    for (const ExprPtr &Sub : Args)
+      S += "[" + Sub->toC(Subst) + "]";
+    return S;
+  }
+  case Kind::Unary:
+    return "(" + Op + Args[0]->toC(Subst) + ")";
+  case Kind::Binary:
+    return "(" + Args[0]->toC(Subst) + " " + Op + " " + Args[1]->toC(Subst) +
+           ")";
+  case Kind::Call: {
+    std::string S = Name + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Args[I]->toC(Subst);
+    }
+    return S + ")";
+  }
+  }
+  return "<?>";
+}
+
+namespace {
+
+/// Recursive affine lowering; Row accumulates Scale * E.
+bool accumulate(const Expr &E, const DimMap &Dims, const BigInt &Scale,
+                std::vector<BigInt> &Row) {
+  unsigned ConstCol = static_cast<unsigned>(Row.size()) - 1;
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    Row[ConstCol] += Scale * BigInt(E.IntValue);
+    return true;
+  case Expr::Kind::Var: {
+    auto It = Dims.find(E.Name);
+    if (It == Dims.end())
+      return false;
+    assert(It->second < ConstCol && "dim column out of range");
+    Row[It->second] += Scale;
+    return true;
+  }
+  case Expr::Kind::Unary:
+    if (E.Op == "-")
+      return accumulate(*E.Args[0], Dims, -Scale, Row);
+    if (E.Op == "+")
+      return accumulate(*E.Args[0], Dims, Scale, Row);
+    return false;
+  case Expr::Kind::Binary: {
+    if (E.Op == "+")
+      return accumulate(*E.Args[0], Dims, Scale, Row) &&
+             accumulate(*E.Args[1], Dims, Scale, Row);
+    if (E.Op == "-")
+      return accumulate(*E.Args[0], Dims, Scale, Row) &&
+             accumulate(*E.Args[1], Dims, -Scale, Row);
+    if (E.Op == "*") {
+      // One side must fold to an integer constant.
+      auto foldConst = [](const Expr &X, long long &Out) {
+        if (X.K == Expr::Kind::IntLit) {
+          Out = X.IntValue;
+          return true;
+        }
+        if (X.K == Expr::Kind::Unary && X.Op == "-" &&
+            X.Args[0]->K == Expr::Kind::IntLit) {
+          Out = -X.Args[0]->IntValue;
+          return true;
+        }
+        return false;
+      };
+      long long C;
+      if (foldConst(*E.Args[0], C))
+        return accumulate(*E.Args[1], Dims, Scale * BigInt(C), Row);
+      if (foldConst(*E.Args[1], C))
+        return accumulate(*E.Args[0], Dims, Scale * BigInt(C), Row);
+      return false;
+    }
+    return false;
+  }
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::ArrayRef:
+  case Expr::Kind::Call:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+std::optional<std::vector<BigInt>>
+pluto::toAffine(const Expr &E, const DimMap &Dims, unsigned NumCols) {
+  std::vector<BigInt> Row(NumCols, BigInt(0));
+  if (!accumulate(E, Dims, BigInt(1), Row))
+    return std::nullopt;
+  return Row;
+}

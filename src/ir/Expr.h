@@ -1,0 +1,81 @@
+//===- ir/Expr.h - Expression AST for statement bodies ----------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small C expression AST. The parser produces these for loop bounds,
+/// array subscripts and statement bodies. Subscripts and bounds are lowered
+/// to affine rows (see toAffine); bodies are kept as trees so that the
+/// interpreter can execute the original and the transformed program for
+/// equivalence testing, and the code emitter can print them back as C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_IR_EXPR_H
+#define PLUTOPP_IR_EXPR_H
+
+#include "support/Matrix.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// C expression node. Plain struct; the Kind discriminates which fields are
+/// meaningful.
+struct Expr {
+  enum class Kind {
+    IntLit,   ///< IntValue
+    FloatLit, ///< FloatText (kept as written, e.g. "0.333")
+    Var,      ///< Name (loop iterator, parameter or scalar)
+    ArrayRef, ///< Name + Args (subscripts, outermost first)
+    Unary,    ///< Op in {"-", "+"} applied to Args[0]
+    Binary,   ///< Op in {"+","-","*","/","%"}; Args[0] Op Args[1]
+    Call,     ///< Name(Args...): opaque pure function (exp, sqrt, min, max)
+  };
+
+  Kind K;
+  long long IntValue = 0;
+  std::string FloatText;
+  std::string Name;
+  std::string Op;
+  std::vector<ExprPtr> Args;
+
+  static ExprPtr intLit(long long V);
+  static ExprPtr floatLit(std::string Text);
+  static ExprPtr var(std::string Name);
+  static ExprPtr arrayRef(std::string Name, std::vector<ExprPtr> Subs);
+  static ExprPtr unary(std::string Op, ExprPtr E);
+  static ExprPtr binary(std::string Op, ExprPtr L, ExprPtr R);
+  static ExprPtr call(std::string Name, std::vector<ExprPtr> Args);
+
+  /// Renders the expression as C source. Iterator occurrences can be
+  /// rewritten via Subst (name -> replacement C text), which is how the code
+  /// generator re-targets statement bodies to transformed loop counters.
+  std::string
+  toC(const std::map<std::string, std::string> &Subst = {}) const;
+};
+
+/// Maps a name to its column in an affine row layout.
+using DimMap = std::map<std::string, unsigned>;
+
+/// Lowers E to an affine row over the layout described by Dims (column per
+/// name) with NumCols total columns (last column is the constant term).
+/// Returns std::nullopt if E is not affine in those names (products of two
+/// variables, division, calls, float literals, unknown names not in Dims
+/// are all rejected; unknown names ARE rejected so callers can decide which
+/// symbols are legal dimensions).
+std::optional<std::vector<BigInt>> toAffine(const Expr &E, const DimMap &Dims,
+                                            unsigned NumCols);
+
+} // namespace pluto
+
+#endif // PLUTOPP_IR_EXPR_H

@@ -1,0 +1,84 @@
+//===- ir/Program.cpp - Polyhedral program representation -----------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <algorithm>
+
+using namespace pluto;
+
+const ArrayInfo *Program::findArray(const std::string &Name) const {
+  for (const ArrayInfo &A : Arrays)
+    if (A.Name == Name)
+      return &A;
+  return nullptr;
+}
+
+unsigned Program::commonLoopDepth(const Statement &S,
+                                  const Statement &T) const {
+  unsigned D = 0;
+  unsigned Max = static_cast<unsigned>(
+      std::min(S.LoopPath.size(), T.LoopPath.size()));
+  while (D < Max && S.LoopPath[D] == T.LoopPath[D])
+    ++D;
+  return D;
+}
+
+bool Program::textuallyBefore(const Statement &S, const Statement &T) const {
+  return std::lexicographical_compare(S.PosVec.begin(), S.PosVec.end(),
+                                      T.PosVec.begin(), T.PosVec.end());
+}
+
+void Program::appendContextTo(ConstraintSystem &CS, unsigned ParamsAt) const {
+  unsigned NP = numParams();
+  assert(ParamsAt + NP <= CS.numVars() && "parameter columns out of range");
+  for (unsigned R = 0; R < Context.ineqs().numRows(); ++R) {
+    std::vector<BigInt> Row(CS.numVars() + 1, BigInt(0));
+    for (unsigned P = 0; P < NP; ++P)
+      Row[ParamsAt + P] = Context.ineqs()(R, P);
+    Row[CS.numVars()] = Context.ineqs()(R, NP);
+    CS.addIneq(std::move(Row));
+  }
+  for (unsigned R = 0; R < Context.eqs().numRows(); ++R) {
+    std::vector<BigInt> Row(CS.numVars() + 1, BigInt(0));
+    for (unsigned P = 0; P < NP; ++P)
+      Row[ParamsAt + P] = Context.eqs()(R, P);
+    Row[CS.numVars()] = Context.eqs()(R, NP);
+    CS.addEq(std::move(Row));
+  }
+}
+
+void Program::addContextBound(const std::string &Param, long long MinValue) {
+  for (unsigned P = 0; P < numParams(); ++P) {
+    if (ParamNames[P] != Param)
+      continue;
+    if (Context.numVars() != numParams())
+      Context = ConstraintSystem(numParams());
+    Context.addLowerBound(P, MinValue);
+    return;
+  }
+  assert(false && "unknown parameter in addContextBound");
+}
+
+std::string Program::toString() const {
+  std::string S = "parameters:";
+  for (const std::string &P : ParamNames)
+    S += " " + P;
+  S += "\n";
+  for (const Statement &St : Stmts) {
+    S += "S" + std::to_string(St.Id) + " [";
+    for (size_t I = 0; I < St.IterNames.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += St.IterNames[I];
+    }
+    S += "]: " + St.Text + "\n";
+    std::vector<std::string> Names = St.IterNames;
+    Names.insert(Names.end(), ParamNames.begin(), ParamNames.end());
+    S += St.Domain.toString(Names);
+  }
+  return S;
+}

@@ -1,0 +1,114 @@
+//===- ir/Program.h - Polyhedral program representation ---------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Polyhedral representation of an affine loop-nest region (paper Section
+/// 2.1, Figure 1): per-statement iteration domains as integer polyhedra,
+/// affine array access functions, and the source nesting/ordering
+/// information the dependence analyzer needs. Produced by the parser;
+/// consumed by dependence analysis, the transformation framework, tiling and
+/// code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_IR_PROGRAM_H
+#define PLUTOPP_IR_PROGRAM_H
+
+#include "ir/Expr.h"
+#include "poly/ConstraintSystem.h"
+
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+/// One array reference in a statement body.
+struct Access {
+  std::string Array;
+  /// Affine access function: one row per array dimension over the columns
+  /// [statement iterators | program parameters | 1]. Scalars have 0 rows.
+  IntMatrix Map;
+  bool IsWrite = false;
+};
+
+/// The executable payload of a statement: Lhs AsgnOp Rhs;
+struct StmtBody {
+  ExprPtr Lhs;       ///< ArrayRef or Var being assigned.
+  std::string AsgnOp; ///< "=", "+=", "-=", "*=".
+  ExprPtr Rhs;
+};
+
+/// A statement of the input program with its iteration domain.
+class Statement {
+public:
+  unsigned Id = 0;
+  /// Names of the surrounding loop iterators, outermost first.
+  std::vector<std::string> IterNames;
+  /// Domain over [iters | params | 1]; the parameter count is shared across
+  /// the program.
+  ConstraintSystem Domain;
+  std::vector<Access> Accesses;
+  StmtBody Body;
+  /// Original C text of the statement (for human-readable output).
+  std::string Text;
+  /// Ids of the enclosing loops, outermost first (loop ids are unique across
+  /// the program). The common prefix of two statements' LoopPath gives their
+  /// shared nest.
+  std::vector<unsigned> LoopPath;
+  /// 2d+1 interleaved position vector (syntactic slot, loop, slot, ...).
+  /// Lexicographic comparison of PosVec is textual program order.
+  std::vector<unsigned> PosVec;
+
+  unsigned numIters() const {
+    return static_cast<unsigned>(IterNames.size());
+  }
+};
+
+/// Information about one array of the region.
+struct ArrayInfo {
+  std::string Name;
+  unsigned Rank = 0;       ///< 0 for scalars.
+  bool IsWritten = false;  ///< Read-only arrays feed only RAR dependences.
+};
+
+/// A static control region: statements, parameters and context.
+class Program {
+public:
+  std::vector<std::string> ParamNames;
+  std::vector<Statement> Stmts;
+  std::vector<ArrayInfo> Arrays;
+  /// Known facts about the parameters, over [params | 1]. The parser seeds
+  /// it empty; drivers usually add e.g. N >= 2 (the paper's assumption that
+  /// parameters are large).
+  ConstraintSystem Context;
+
+  unsigned numParams() const {
+    return static_cast<unsigned>(ParamNames.size());
+  }
+
+  const ArrayInfo *findArray(const std::string &Name) const;
+
+  /// Number of loops surrounding both S and T (length of the common prefix
+  /// of their loop paths).
+  unsigned commonLoopDepth(const Statement &S, const Statement &T) const;
+
+  /// True if S precedes T in textual program order.
+  bool textuallyBefore(const Statement &S, const Statement &T) const;
+
+  /// Adds the context constraints (over params) to a constraint system
+  /// whose columns are [Prefix vars | params | 1] with the parameters
+  /// starting at column ParamsAt.
+  void appendContextTo(ConstraintSystem &CS, unsigned ParamsAt) const;
+
+  /// Adds Param >= Value to the context; Param must exist.
+  void addContextBound(const std::string &Param, long long MinValue);
+
+  std::string toString() const;
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_IR_PROGRAM_H

@@ -1,0 +1,123 @@
+//===- parser/Lexer.cpp - Tokenizer for the restricted-C frontend ---------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace pluto;
+
+std::vector<Token> pluto::tokenize(const std::string &Source,
+                                   std::string &Error) {
+  std::vector<Token> Tokens;
+  Error.clear();
+  unsigned Line = 1, Col = 1;
+  size_t I = 0, N = Source.size();
+
+  auto advance = [&](size_t Count) {
+    for (size_t K = 0; K < Count && I < N; ++K, ++I) {
+      if (Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  };
+  auto push = [&](Token::Kind K, std::string Text, unsigned L, unsigned C) {
+    Token T;
+    T.K = K;
+    T.Text = std::move(Text);
+    T.Line = L;
+    T.Col = C;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance(1);
+      continue;
+    }
+    // Line comments, block comments and #pragma / preprocessor lines.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        advance(1);
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      advance(2);
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/'))
+        advance(1);
+      advance(2);
+      continue;
+    }
+    if (C == '#') {
+      while (I < N && Source[I] != '\n')
+        advance(1);
+      continue;
+    }
+    unsigned TLine = Line, TCol = Col;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t S = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        advance(1);
+      push(Token::Kind::Ident, Source.substr(S, I - S), TLine, TCol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t S = I;
+      bool IsFloat = false;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '.' || Source[I] == 'e' ||
+                       Source[I] == 'E' ||
+                       ((Source[I] == '+' || Source[I] == '-') && I > S &&
+                        (Source[I - 1] == 'e' || Source[I - 1] == 'E')))) {
+        if (Source[I] == '.' || Source[I] == 'e' || Source[I] == 'E')
+          IsFloat = true;
+        advance(1);
+      }
+      // Trailing float suffix (f/F/l/L).
+      if (I < N && (Source[I] == 'f' || Source[I] == 'F' ||
+                    Source[I] == 'l' || Source[I] == 'L')) {
+        IsFloat = true;
+        advance(1);
+      }
+      push(IsFloat ? Token::Kind::FloatLit : Token::Kind::IntLit,
+           Source.substr(S, I - S), TLine, TCol);
+      continue;
+    }
+    // Multi-character punctuation, longest match first.
+    static const char *TwoChar[] = {"<=", ">=", "==", "!=", "++", "--",
+                                    "+=", "-=", "*=", "/=", "&&", "||"};
+    bool Matched = false;
+    if (I + 1 < N) {
+      std::string Two = Source.substr(I, 2);
+      for (const char *P : TwoChar) {
+        if (Two == P) {
+          push(Token::Kind::Punct, Two, TLine, TCol);
+          advance(2);
+          Matched = true;
+          break;
+        }
+      }
+    }
+    if (Matched)
+      continue;
+    static const std::string OneChar = "()[]{};,=+-*/%<>!&|?:.";
+    if (OneChar.find(C) != std::string::npos) {
+      push(Token::Kind::Punct, std::string(1, C), TLine, TCol);
+      advance(1);
+      continue;
+    }
+    Error = "line " + std::to_string(Line) + ": unexpected character '" +
+            std::string(1, C) + "'";
+    break;
+  }
+  push(Token::Kind::End, "", Line, Col);
+  return Tokens;
+}

@@ -1,0 +1,51 @@
+//===- parser/Lexer.h - Tokenizer for the restricted-C frontend -*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the affine loop-nest subset of C accepted by the frontend
+/// (the role of LooPo's scanner in the original tool-chain). Handles
+/// identifiers, integer/float literals, the operator/punctuation set used by
+/// loop nests, and skips comments and #pragma lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_PARSER_LEXER_H
+#define PLUTOPP_PARSER_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+struct Token {
+  enum class Kind {
+    Ident,
+    IntLit,
+    FloatLit,
+    Punct, ///< Operators and punctuation; Text holds the spelling.
+    End,
+  };
+  Kind K = Kind::End;
+  std::string Text;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(Kind Kd) const { return K == Kd; }
+  bool isPunct(const char *P) const {
+    return K == Kind::Punct && Text == P;
+  }
+  bool isIdent(const char *Name) const {
+    return K == Kind::Ident && Text == Name;
+  }
+};
+
+/// Tokenizes Source. On invalid characters, Error is set and tokenization
+/// stops (the token stream ends with an End token either way).
+std::vector<Token> tokenize(const std::string &Source, std::string &Error);
+
+} // namespace pluto
+
+#endif // PLUTOPP_PARSER_LEXER_H

@@ -1,0 +1,49 @@
+//===- parser/Parser.h - Restricted-C frontend ------------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frontend that turns the affine loop-nest subset of C into the polyhedral
+/// IR (the role of LooPo's scanner/parser in the original tool-chain).
+///
+/// Accepted input: sequences of possibly imperfectly nested
+///   for (i = LB; i <= UB; i++) { ... }
+/// loops (also `<`, `++i`, `i += 1`, `i = i + 1`; `max(...)` in lower and
+/// `min(...)` in upper bounds), whose bodies are assignment statements
+/// `lhs = expr;` (also `+=`, `-=`, `*=`) with affine array subscripts.
+/// Simple declarations are skipped; `#pragma` lines and comments ignored.
+///
+/// Name classification: loop-bound names are iterators; subscripted names
+/// (or scalar assignment targets) are arrays; remaining names used in bounds
+/// or subscripts are integer parameters; remaining names read in bodies are
+/// opaque runtime constants (SymConsts, e.g. `coeff1` in the paper's FDTD
+/// kernel) that take part in no dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_PARSER_PARSER_H
+#define PLUTOPP_PARSER_PARSER_H
+
+#include "ir/Program.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace pluto {
+
+/// Parsed program plus frontend side information.
+struct ParsedProgram {
+  Program Prog;
+  /// Names of double-valued opaque constants read by statement bodies.
+  std::vector<std::string> SymConsts;
+};
+
+/// Parses Source into the polyhedral IR. Returns an error message naming the
+/// offending line for inputs outside the accepted subset.
+Result<ParsedProgram> parseSource(const std::string &Source);
+
+} // namespace pluto
+
+#endif // PLUTOPP_PARSER_PARSER_H

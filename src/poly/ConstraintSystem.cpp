@@ -1,0 +1,486 @@
+//===- poly/ConstraintSystem.cpp - Integer polyhedra ----------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/ConstraintSystem.h"
+
+#include "ilp/LexMin.h"
+#include "support/LinearAlgebra.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace pluto;
+
+void ConstraintSystem::addIneq(std::vector<BigInt> Row) {
+  assert(Row.size() == NumVars + 1 && "constraint width mismatch");
+  Ineqs.addRow(std::move(Row));
+}
+
+void ConstraintSystem::addEq(std::vector<BigInt> Row) {
+  assert(Row.size() == NumVars + 1 && "constraint width mismatch");
+  Eqs.addRow(std::move(Row));
+}
+
+void ConstraintSystem::addIneq(std::initializer_list<long long> Row) {
+  std::vector<BigInt> R;
+  R.reserve(Row.size());
+  for (long long V : Row)
+    R.push_back(BigInt(V));
+  addIneq(std::move(R));
+}
+
+void ConstraintSystem::addEq(std::initializer_list<long long> Row) {
+  std::vector<BigInt> R;
+  R.reserve(Row.size());
+  for (long long V : Row)
+    R.push_back(BigInt(V));
+  addEq(std::move(R));
+}
+
+void ConstraintSystem::addLowerBound(unsigned Var, long long Lower) {
+  assert(Var < NumVars);
+  std::vector<BigInt> Row(NumVars + 1, BigInt(0));
+  Row[Var] = BigInt(1);
+  Row[NumVars] = BigInt(-Lower);
+  addIneq(std::move(Row));
+}
+
+void ConstraintSystem::addUpperBound(unsigned Var, long long Upper) {
+  assert(Var < NumVars);
+  std::vector<BigInt> Row(NumVars + 1, BigInt(0));
+  Row[Var] = BigInt(-1);
+  Row[NumVars] = BigInt(Upper);
+  addIneq(std::move(Row));
+}
+
+ConstraintSystem ConstraintSystem::intersection(const ConstraintSystem &A,
+                                                const ConstraintSystem &B) {
+  assert(A.NumVars == B.NumVars && "intersection dimension mismatch");
+  ConstraintSystem R = A;
+  R.append(B);
+  return R;
+}
+
+void ConstraintSystem::append(const ConstraintSystem &Other) {
+  assert(NumVars == Other.NumVars && "append dimension mismatch");
+  for (unsigned I = 0; I < Other.Ineqs.numRows(); ++I)
+    Ineqs.addRow(Other.Ineqs.row(I));
+  for (unsigned I = 0; I < Other.Eqs.numRows(); ++I)
+    Eqs.addRow(Other.Eqs.row(I));
+}
+
+void ConstraintSystem::insertDims(unsigned Pos, unsigned Count) {
+  assert(Pos <= NumVars && "insert position out of range");
+  Ineqs.insertZeroColumns(Pos, Count);
+  Eqs.insertZeroColumns(Pos, Count);
+  NumVars += Count;
+}
+
+bool ConstraintSystem::isIntegerEmpty() const {
+  return !ilp::hasIntegerPoint(Ineqs, Eqs, NumVars);
+}
+
+bool ConstraintSystem::impliesIneq(const std::vector<BigInt> &Row) const {
+  assert(Row.size() == NumVars + 1 && "constraint width mismatch");
+  // Implied iff (this AND not Row) is empty; not(a.x + c >= 0) over the
+  // integers is -a.x - c - 1 >= 0.
+  ConstraintSystem Neg = *this;
+  std::vector<BigInt> NegRow(NumVars + 1);
+  for (unsigned I = 0; I <= NumVars; ++I)
+    NegRow[I] = -Row[I];
+  NegRow[NumVars] -= BigInt(1);
+  Neg.addIneq(std::move(NegRow));
+  return Neg.isIntegerEmpty();
+}
+
+/// Divides an inequality row by the gcd of its variable coefficients,
+/// tightening the constant with a floor (integer-exact strengthening).
+static void tightenIneq(std::vector<BigInt> &Row) {
+  unsigned N = static_cast<unsigned>(Row.size()) - 1;
+  BigInt G(0);
+  for (unsigned I = 0; I < N; ++I)
+    G = BigInt::gcd(G, Row[I]);
+  if (G.isZero() || G.isOne())
+    return;
+  for (unsigned I = 0; I < N; ++I)
+    Row[I] = Row[I].divExact(G);
+  Row[N] = Row[N].floorDiv(G);
+}
+
+bool ConstraintSystem::normalize() {
+  // Equalities: gcd-normalize; a row 0 == c with c != 0 is a contradiction.
+  IntMatrix NewEqs(NumVars + 1);
+  std::set<std::vector<std::string>> SeenEq;
+  for (unsigned R = 0; R < Eqs.numRows(); ++R) {
+    std::vector<BigInt> Row = Eqs.row(R);
+    BigInt G(0);
+    for (unsigned I = 0; I < NumVars; ++I)
+      G = BigInt::gcd(G, Row[I]);
+    if (G.isZero()) {
+      if (!Row[NumVars].isZero())
+        return false;
+      continue;
+    }
+    // If the gcd of coefficients does not divide the constant, no integer
+    // solution exists.
+    if (!(Row[NumVars] % G).isZero())
+      return false;
+    for (BigInt &V : Row)
+      V = V.divExact(G);
+    // Canonicalize sign: first nonzero coefficient positive.
+    for (unsigned I = 0; I < NumVars; ++I) {
+      if (Row[I].isZero())
+        continue;
+      if (Row[I].isNegative())
+        for (BigInt &V : Row)
+          V = -V;
+      break;
+    }
+    std::vector<std::string> Key;
+    for (const BigInt &V : Row)
+      Key.push_back(V.toString());
+    if (SeenEq.insert(Key).second)
+      NewEqs.addRow(std::move(Row));
+  }
+  Eqs = std::move(NewEqs);
+
+  IntMatrix NewIneqs(NumVars + 1);
+  std::set<std::vector<std::string>> Seen;
+  for (unsigned R = 0; R < Ineqs.numRows(); ++R) {
+    std::vector<BigInt> Row = Ineqs.row(R);
+    tightenIneq(Row);
+    bool AllZero = true;
+    for (unsigned I = 0; I < NumVars; ++I)
+      AllZero &= Row[I].isZero();
+    if (AllZero) {
+      if (Row[NumVars].isNegative())
+        return false;
+      continue;
+    }
+    std::vector<std::string> Key;
+    for (const BigInt &V : Row)
+      Key.push_back(V.toString());
+    if (Seen.insert(Key).second)
+      NewIneqs.addRow(std::move(Row));
+  }
+  Ineqs = std::move(NewIneqs);
+  return true;
+}
+
+void ConstraintSystem::eliminateVar(unsigned Var) {
+  assert(Var < NumVars && "eliminating variable out of range");
+
+  auto dropColumn = [&](std::vector<BigInt> Row) {
+    Row.erase(Row.begin() + Var);
+    return Row;
+  };
+
+  // Prefer exact substitution using an equality that involves Var (pick the
+  // one with the smallest absolute coefficient to limit growth).
+  int EqIdx = -1;
+  for (unsigned R = 0; R < Eqs.numRows(); ++R) {
+    if (Eqs(R, Var).isZero())
+      continue;
+    if (EqIdx < 0 ||
+        Eqs(R, Var).abs() < Eqs(static_cast<unsigned>(EqIdx), Var).abs())
+      EqIdx = static_cast<int>(R);
+  }
+
+  IntMatrix NewIneqs(NumVars);
+  IntMatrix NewEqs(NumVars);
+
+  if (EqIdx >= 0) {
+    const std::vector<BigInt> &E = Eqs.row(static_cast<unsigned>(EqIdx));
+    BigInt D = E[Var];
+    auto substitute = [&](const std::vector<BigInt> &Row) {
+      // Row' = |D| * Row - sign(D) * Row[Var] * E  (positive multiple of Row
+      // plus a multiple of the equality; legal for both row kinds).
+      std::vector<BigInt> R(NumVars + 1);
+      BigInt AbsD = D.abs();
+      BigInt S = D.isNegative() ? BigInt(-1) : BigInt(1);
+      for (unsigned C = 0; C <= NumVars; ++C)
+        R[C] = AbsD * Row[C] - S * Row[Var] * E[C];
+      assert(R[Var].isZero() && "substitution failed to eliminate variable");
+      normalizeByGcd(R);
+      return dropColumn(std::move(R));
+    };
+    for (unsigned R = 0; R < Ineqs.numRows(); ++R)
+      NewIneqs.addRow(substitute(Ineqs.row(R)));
+    for (unsigned R = 0; R < Eqs.numRows(); ++R) {
+      if (R == static_cast<unsigned>(EqIdx))
+        continue;
+      NewEqs.addRow(substitute(Eqs.row(R)));
+    }
+    Ineqs = std::move(NewIneqs);
+    Eqs = std::move(NewEqs);
+    --NumVars;
+    normalize();
+    return;
+  }
+
+  // No equality: classic Fourier-Motzkin on the inequalities. Any equality
+  // rows here do not involve Var, so they pass through unchanged.
+  std::vector<unsigned> Lower, Upper, None;
+  for (unsigned R = 0; R < Ineqs.numRows(); ++R) {
+    const BigInt &C = Ineqs(R, Var);
+    if (C.isPositive())
+      Lower.push_back(R); // c > 0: row gives a lower bound on Var.
+    else if (C.isNegative())
+      Upper.push_back(R);
+    else
+      None.push_back(R);
+  }
+  for (unsigned R : None)
+    NewIneqs.addRow(dropColumn(Ineqs.row(R)));
+  for (unsigned L : Lower) {
+    for (unsigned U : Upper) {
+      const std::vector<BigInt> &RL = Ineqs.row(L);
+      const std::vector<BigInt> &RU = Ineqs.row(U);
+      BigInt P = RL[Var];   // > 0
+      BigInt Q = -RU[Var];  // > 0
+      std::vector<BigInt> R(NumVars + 1);
+      for (unsigned C = 0; C <= NumVars; ++C)
+        R[C] = Q * RL[C] + P * RU[C];
+      assert(R[Var].isZero() && "FM combination failed");
+      normalizeByGcd(R);
+      NewIneqs.addRow(dropColumn(std::move(R)));
+    }
+  }
+  for (unsigned R = 0; R < Eqs.numRows(); ++R)
+    NewEqs.addRow(dropColumn(Eqs.row(R)));
+  Ineqs = std::move(NewIneqs);
+  Eqs = std::move(NewEqs);
+  --NumVars;
+  normalize();
+}
+
+void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
+  assert(Pos + Count <= NumVars && "projection range out of bounds");
+  if (Count == 0)
+    return;
+
+  // Phase 1: exact equality substitutions. While some equality involves a
+  // target variable, use it to eliminate that variable (no row growth).
+  std::vector<bool> IsTarget(NumVars, false);
+  for (unsigned I = 0; I < Count; ++I)
+    IsTarget[Pos + I] = true;
+  for (;;) {
+    int Var = -1;
+    for (unsigned V = 0; V < NumVars && Var < 0; ++V) {
+      if (!IsTarget[V])
+        continue;
+      for (unsigned R = 0; R < Eqs.numRows(); ++R)
+        if (!Eqs(R, V).isZero()) {
+          Var = static_cast<int>(V);
+          break;
+        }
+    }
+    if (Var < 0)
+      break;
+    eliminateVar(static_cast<unsigned>(Var));
+    IsTarget.erase(IsTarget.begin() + Var);
+  }
+
+  // Phase 2: batch Fourier-Motzkin with Imbert's acceleration. Each row
+  // carries the set of original inequality indices it descends from; after
+  // eliminating p variables, any irredundant derived row has at most p + 1
+  // ancestors (Imbert/Chernikov), so larger combinations are dropped. This
+  // keeps the Farkas-multiplier eliminations polynomial in practice.
+  std::vector<unsigned> Targets;
+  for (unsigned V = 0; V < NumVars; ++V)
+    if (IsTarget[V])
+      Targets.push_back(V);
+  if (!Targets.empty()) {
+    struct FmRow {
+      std::vector<BigInt> Coef;
+      std::vector<unsigned> Anc; // Sorted ancestor indices.
+    };
+    std::vector<FmRow> Rows;
+    for (unsigned R = 0; R < Ineqs.numRows(); ++R)
+      Rows.push_back({Ineqs.row(R), {R}});
+
+    auto mergeAnc = [](const std::vector<unsigned> &A,
+                       const std::vector<unsigned> &B) {
+      std::vector<unsigned> M;
+      std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                     std::back_inserter(M));
+      return M;
+    };
+
+    std::vector<bool> Remaining(NumVars, false);
+    for (unsigned V : Targets)
+      Remaining[V] = true;
+    unsigned P = 0;
+    for (unsigned Step = 0; Step < Targets.size(); ++Step) {
+      // Pick the remaining target with the lowest pos*neg growth.
+      int Best = -1;
+      size_t BestCost = 0;
+      for (unsigned V = 0; V < NumVars; ++V) {
+        if (!Remaining[V])
+          continue;
+        size_t NPos = 0, NNeg = 0;
+        for (const FmRow &R : Rows) {
+          NPos += R.Coef[V].isPositive();
+          NNeg += R.Coef[V].isNegative();
+        }
+        size_t Cost = NPos * NNeg;
+        if (Best < 0 || Cost < BestCost) {
+          Best = static_cast<int>(V);
+          BestCost = Cost;
+        }
+      }
+      unsigned V = static_cast<unsigned>(Best);
+      Remaining[V] = false;
+      ++P;
+
+      std::vector<FmRow> Lower, Upper, Next;
+      for (FmRow &R : Rows) {
+        if (R.Coef[V].isPositive())
+          Lower.push_back(std::move(R));
+        else if (R.Coef[V].isNegative())
+          Upper.push_back(std::move(R));
+        else
+          Next.push_back(std::move(R));
+      }
+      auto keyOf = [&](const std::vector<BigInt> &Coef) {
+        std::string K;
+        for (const BigInt &C : Coef)
+          K += C.toString() + ",";
+        return K;
+      };
+      // Duplicate rows keep the SMALLEST ancestor set so the pruning rule
+      // never discards the cheapest derivation of an irredundant row.
+      std::map<std::string, size_t> Seen;
+      for (size_t I = 0; I < Next.size(); ++I)
+        Seen[keyOf(Next[I].Coef)] = I;
+      for (const FmRow &L : Lower) {
+        for (const FmRow &U : Upper) {
+          std::vector<unsigned> Anc = mergeAnc(L.Anc, U.Anc);
+          if (Anc.size() > P + 1)
+            continue; // Imbert/Chernikov: necessarily redundant.
+          BigInt PC = L.Coef[V];
+          BigInt NC = -U.Coef[V];
+          std::vector<BigInt> Coef(NumVars + 1);
+          bool AllZero = true;
+          for (unsigned C = 0; C <= NumVars; ++C) {
+            Coef[C] = NC * L.Coef[C] + PC * U.Coef[C];
+            if (C < NumVars && !Coef[C].isZero())
+              AllZero = false;
+          }
+          normalizeByGcd(Coef);
+          if (AllZero)
+            continue; // Trivial (or contradiction caught by normalize()).
+          auto [It, Inserted] = Seen.try_emplace(keyOf(Coef), Next.size());
+          if (!Inserted) {
+            if (Anc.size() < Next[It->second].Anc.size())
+              Next[It->second].Anc = std::move(Anc);
+            continue;
+          }
+          Next.push_back({std::move(Coef), std::move(Anc)});
+        }
+      }
+      Rows = std::move(Next);
+    }
+    IntMatrix NewIneqs(NumVars + 1);
+    for (FmRow &R : Rows)
+      NewIneqs.addRow(std::move(R.Coef));
+    Ineqs = std::move(NewIneqs);
+  }
+
+  // Drop the (now unconstrained) target columns, highest first.
+  for (unsigned I = static_cast<unsigned>(Targets.size()); I-- > 0;) {
+    unsigned V = Targets[I];
+    // All rows have zero coefficients on V at this point.
+    IntMatrix NI(NumVars), NE(NumVars);
+    auto drop = [&](std::vector<BigInt> Row) {
+      assert(Row[V].isZero() && "column not eliminated");
+      Row.erase(Row.begin() + V);
+      return Row;
+    };
+    for (unsigned R = 0; R < Ineqs.numRows(); ++R)
+      NI.addRow(drop(Ineqs.row(R)));
+    for (unsigned R = 0; R < Eqs.numRows(); ++R)
+      NE.addRow(drop(Eqs.row(R)));
+    Ineqs = std::move(NI);
+    Eqs = std::move(NE);
+    --NumVars;
+  }
+  normalize();
+}
+
+void ConstraintSystem::gist(const ConstraintSystem &Context) {
+  assert(NumVars == Context.NumVars && "gist dimension mismatch");
+  // Iterate over inequality rows; drop a row if Context plus the remaining
+  // rows imply it. Equalities are kept (they carry exact information the
+  // code generator needs).
+  for (unsigned R = 0; R < Ineqs.numRows();) {
+    std::vector<BigInt> Row = Ineqs.row(R);
+    IntMatrix Rest(NumVars + 1);
+    for (unsigned I = 0; I < Ineqs.numRows(); ++I)
+      if (I != R)
+        Rest.addRow(Ineqs.row(I));
+    ConstraintSystem Probe = Context;
+    for (unsigned I = 0; I < Rest.numRows(); ++I)
+      Probe.addIneq(Rest.row(I));
+    for (unsigned I = 0; I < Eqs.numRows(); ++I)
+      Probe.addEq(Eqs.row(I));
+    if (Probe.impliesIneq(Row)) {
+      Ineqs.removeRow(R);
+      continue;
+    }
+    ++R;
+  }
+}
+
+void ConstraintSystem::removeRedundant() {
+  ConstraintSystem Empty(NumVars);
+  gist(Empty);
+}
+
+std::string
+ConstraintSystem::toString(const std::vector<std::string> &Names) const {
+  auto term = [&](const BigInt &C, unsigned Var, bool &First) {
+    if (C.isZero())
+      return std::string();
+    std::string Name = Var < Names.size()
+                           ? Names[Var]
+                           : "x" + std::to_string(Var);
+    std::string S;
+    if (C.isOne())
+      S = First ? Name : " + " + Name;
+    else if (C.isMinusOne())
+      S = First ? "-" + Name : " - " + Name;
+    else if (C.isPositive())
+      S = (First ? "" : " + ") + C.toString() + Name;
+    else
+      S = (First ? "-" : " - ") + (-C).toString() + Name;
+    First = false;
+    return S;
+  };
+  auto rowStr = [&](const std::vector<BigInt> &Row, const char *Rel) {
+    std::string S;
+    bool First = true;
+    for (unsigned I = 0; I < NumVars; ++I)
+      S += term(Row[I], I, First);
+    const BigInt &K = Row[NumVars];
+    if (!K.isZero() || First) {
+      if (First)
+        S += K.toString();
+      else if (K.isPositive())
+        S += " + " + K.toString();
+      else
+        S += " - " + (-K).toString();
+    }
+    return S + " " + Rel + " 0";
+  };
+  std::string S;
+  for (unsigned R = 0; R < Eqs.numRows(); ++R)
+    S += rowStr(Eqs.row(R), "==") + "\n";
+  for (unsigned R = 0; R < Ineqs.numRows(); ++R)
+    S += rowStr(Ineqs.row(R), ">=") + "\n";
+  return S;
+}

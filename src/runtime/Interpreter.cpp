@@ -1,0 +1,340 @@
+//===- runtime/Interpreter.cpp - AST interpreter --------------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace pluto;
+
+Tensor Tensor::zeros(std::vector<long long> Extents) {
+  Tensor T;
+  T.Extents = std::move(Extents);
+  T.Data.assign(static_cast<size_t>(T.numElems()), 0.0);
+  return T;
+}
+
+long long Tensor::numElems() const {
+  long long N = 1;
+  for (long long E : Extents)
+    N *= E;
+  return N;
+}
+
+void Tensor::fillPattern(unsigned Seed) {
+  // Small deterministic values; reassociation-safe to a few ulps.
+  unsigned X = Seed * 2654435761u + 17;
+  for (double &V : Data) {
+    X = X * 1664525u + 1013904223u;
+    V = static_cast<double>((X >> 16) % 64) / 8.0;
+  }
+}
+
+double &Tensor::at(const std::vector<long long> &Idx) {
+  assert(Idx.size() == Extents.size() && "tensor rank mismatch");
+  long long Off = 0;
+  for (size_t I = 0; I < Idx.size(); ++I) {
+    assert(Idx[I] >= 0 && Idx[I] < Extents[I] && "tensor index OOB");
+    Off = Off * Extents[I] + Idx[I];
+  }
+  return Data[static_cast<size_t>(Off)];
+}
+
+void Interpreter::allocate(
+    const Program &P,
+    const std::map<std::string, std::vector<long long>> &Extents) {
+  for (const ArrayInfo &A : P.Arrays) {
+    auto It = Extents.find(A.Name);
+    assert((It != Extents.end() || A.Rank == 0) &&
+           "missing extents for array");
+    std::vector<long long> E =
+        It != Extents.end() ? It->second : std::vector<long long>{};
+    assert(E.size() == A.Rank && "extents rank mismatch");
+    Arrays[A.Name] = Tensor::zeros(std::move(E));
+  }
+}
+
+void Interpreter::fail(const std::string &Msg) {
+  if (Error.empty())
+    Error = Msg;
+}
+
+Result<bool> Interpreter::run(const Program &P, const CgNode &Root) {
+  Prog = &P;
+  Error.clear();
+  IntEnv.clear();
+  for (const auto &[Name, V] : Params)
+    IntEnv[Name] = V;
+  exec(Root);
+  if (!Error.empty())
+    return Err(Error);
+  return true;
+}
+
+long long Interpreter::evalCg(const CgExpr &E) {
+  switch (E.K) {
+  case CgExpr::Kind::Affine: {
+    long long V = E.ConstTerm.toInt64();
+    for (const auto &[Name, Coef] : E.Terms) {
+      auto It = IntEnv.find(Name);
+      if (It == IntEnv.end()) {
+        fail("unknown integer variable '" + Name + "'");
+        return 0;
+      }
+      V += Coef.toInt64() * It->second;
+    }
+    return V;
+  }
+  case CgExpr::Kind::Floord: {
+    long long N = evalCg(E.Args[0]);
+    long long D = E.Den.toInt64();
+    return BigInt(N).floorDiv(BigInt(D)).toInt64();
+  }
+  case CgExpr::Kind::Ceild: {
+    long long N = evalCg(E.Args[0]);
+    long long D = E.Den.toInt64();
+    return BigInt(N).ceilDiv(BigInt(D)).toInt64();
+  }
+  case CgExpr::Kind::Min: {
+    long long V = evalCg(E.Args[0]);
+    for (size_t I = 1; I < E.Args.size(); ++I)
+      V = std::min(V, evalCg(E.Args[I]));
+    return V;
+  }
+  case CgExpr::Kind::Max: {
+    long long V = evalCg(E.Args[0]);
+    for (size_t I = 1; I < E.Args.size(); ++I)
+      V = std::max(V, evalCg(E.Args[I]));
+    return V;
+  }
+  }
+  return 0;
+}
+
+bool Interpreter::evalCond(const CgCond &C) {
+  long long V = evalCg(C.Expr);
+  if (C.Mod.isZero())
+    return V >= 0;
+  return V % C.Mod.toInt64() == 0;
+}
+
+void Interpreter::exec(const CgNode &N) {
+  if (!Error.empty())
+    return;
+  switch (N.K) {
+  case CgNode::Kind::Block:
+    for (const CgNodePtr &C : N.Children)
+      exec(*C);
+    return;
+  case CgNode::Kind::Loop: {
+    long long Lb = evalCg(N.Lb);
+    long long Ub = evalCg(N.Ub);
+    auto Saved = IntEnv.find(N.Var) != IntEnv.end()
+                     ? std::optional<long long>(IntEnv[N.Var])
+                     : std::nullopt;
+    for (long long V = Lb; V <= Ub && Error.empty(); ++V) {
+      IntEnv[N.Var] = V;
+      for (const CgNodePtr &C : N.Children)
+        exec(*C);
+    }
+    if (Saved)
+      IntEnv[N.Var] = *Saved;
+    else
+      IntEnv.erase(N.Var);
+    return;
+  }
+  case CgNode::Kind::If: {
+    for (const CgCond &C : N.Conds)
+      if (!evalCond(C))
+        return;
+    for (const CgNodePtr &C : N.Children)
+      exec(*C);
+    return;
+  }
+  case CgNode::Kind::Let: {
+    long long V = evalCg(N.Value);
+    auto Saved = IntEnv.find(N.Var) != IntEnv.end()
+                     ? std::optional<long long>(IntEnv[N.Var])
+                     : std::nullopt;
+    IntEnv[N.Var] = V;
+    for (const CgNodePtr &C : N.Children)
+      exec(*C);
+    if (Saved)
+      IntEnv[N.Var] = *Saved;
+    else
+      IntEnv.erase(N.Var);
+    return;
+  }
+  case CgNode::Kind::Call: {
+    std::vector<long long> Vals;
+    Vals.reserve(N.Args.size());
+    for (const CgExpr &A : N.Args)
+      Vals.push_back(evalCg(A));
+    execStmt(N.StmtId, Vals);
+    return;
+  }
+  }
+}
+
+void Interpreter::execStmt(unsigned StmtId,
+                           const std::vector<long long> &IterVals) {
+  const Statement &St = Prog->Stmts[StmtId];
+  if (IterVals.size() != St.IterNames.size()) {
+    fail("statement argument count mismatch");
+    return;
+  }
+  // Bind original iterator names for body evaluation (save/restore: leaf
+  // names may shadow generated variables of sibling statements).
+  std::vector<std::pair<std::string, std::optional<long long>>> Saved;
+  for (size_t I = 0; I < IterVals.size(); ++I) {
+    auto It = IntEnv.find(St.IterNames[I]);
+    Saved.push_back({St.IterNames[I],
+                     It != IntEnv.end() ? std::optional<long long>(It->second)
+                                        : std::nullopt});
+    IntEnv[St.IterNames[I]] = IterVals[I];
+  }
+  double Rhs = evalBody(*St.Body.Rhs);
+  double *Lhs = resolveLValue(*St.Body.Lhs);
+  if (Lhs) {
+    if (St.Body.AsgnOp == "=")
+      *Lhs = Rhs;
+    else if (St.Body.AsgnOp == "+=")
+      *Lhs += Rhs;
+    else if (St.Body.AsgnOp == "-=")
+      *Lhs -= Rhs;
+    else if (St.Body.AsgnOp == "*=")
+      *Lhs *= Rhs;
+    else
+      fail("unknown assignment operator " + St.Body.AsgnOp);
+  }
+  for (auto &[Name, Val] : Saved) {
+    if (Val)
+      IntEnv[Name] = *Val;
+    else
+      IntEnv.erase(Name);
+  }
+}
+
+double *Interpreter::resolveLValue(const Expr &E) {
+  std::string Name = E.Name;
+  auto It = Arrays.find(Name);
+  if (It == Arrays.end()) {
+    fail("write to unknown array '" + Name + "'");
+    return nullptr;
+  }
+  Tensor &T = It->second;
+  if (E.K == Expr::Kind::Var) {
+    if (!T.Extents.empty()) {
+      fail("scalar write to non-scalar array '" + Name + "'");
+      return nullptr;
+    }
+    return &T.Data[0];
+  }
+  std::vector<long long> Idx;
+  for (const ExprPtr &Sub : E.Args)
+    Idx.push_back(static_cast<long long>(evalBody(*Sub)));
+  if (Idx.size() != T.Extents.size()) {
+    fail("rank mismatch writing '" + Name + "'");
+    return nullptr;
+  }
+  for (size_t I = 0; I < Idx.size(); ++I)
+    if (Idx[I] < 0 || Idx[I] >= T.Extents[I]) {
+      fail("index out of bounds writing '" + Name + "'");
+      return nullptr;
+    }
+  return &T.at(Idx);
+}
+
+double Interpreter::evalBody(const Expr &E) {
+  if (!Error.empty())
+    return 0.0;
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return static_cast<double>(E.IntValue);
+  case Expr::Kind::FloatLit:
+    return std::stod(E.FloatText);
+  case Expr::Kind::Var: {
+    auto IntIt = IntEnv.find(E.Name);
+    if (IntIt != IntEnv.end())
+      return static_cast<double>(IntIt->second);
+    auto SymIt = SymConsts.find(E.Name);
+    if (SymIt != SymConsts.end())
+      return SymIt->second;
+    auto ArrIt = Arrays.find(E.Name);
+    if (ArrIt != Arrays.end() && ArrIt->second.Extents.empty())
+      return ArrIt->second.Data[0];
+    fail("unknown name '" + E.Name + "' in statement body");
+    return 0.0;
+  }
+  case Expr::Kind::ArrayRef: {
+    auto It = Arrays.find(E.Name);
+    if (It == Arrays.end()) {
+      fail("read of unknown array '" + E.Name + "'");
+      return 0.0;
+    }
+    Tensor &T = It->second;
+    std::vector<long long> Idx;
+    for (const ExprPtr &Sub : E.Args)
+      Idx.push_back(static_cast<long long>(evalBody(*Sub)));
+    if (Idx.size() != T.Extents.size()) {
+      fail("rank mismatch reading '" + E.Name + "'");
+      return 0.0;
+    }
+    for (size_t I = 0; I < Idx.size(); ++I)
+      if (Idx[I] < 0 || Idx[I] >= T.Extents[I]) {
+        fail("index out of bounds reading '" + E.Name + "'");
+        return 0.0;
+      }
+    return T.at(Idx);
+  }
+  case Expr::Kind::Unary: {
+    double V = evalBody(*E.Args[0]);
+    return E.Op == "-" ? -V : V;
+  }
+  case Expr::Kind::Binary: {
+    double L = evalBody(*E.Args[0]);
+    double R = evalBody(*E.Args[1]);
+    if (E.Op == "+")
+      return L + R;
+    if (E.Op == "-")
+      return L - R;
+    if (E.Op == "*")
+      return L * R;
+    if (E.Op == "/")
+      return L / R;
+    if (E.Op == "%")
+      return static_cast<double>(static_cast<long long>(L) %
+                                 static_cast<long long>(R));
+    fail("unknown binary operator " + E.Op);
+    return 0.0;
+  }
+  case Expr::Kind::Call: {
+    std::vector<double> Args;
+    for (const ExprPtr &A : E.Args)
+      Args.push_back(evalBody(*A));
+    if (E.Name == "exp" && Args.size() == 1)
+      return std::exp(Args[0]);
+    if (E.Name == "sqrt" && Args.size() == 1)
+      return std::sqrt(Args[0]);
+    if (E.Name == "fabs" && Args.size() == 1)
+      return std::fabs(Args[0]);
+    if (E.Name == "sin" && Args.size() == 1)
+      return std::sin(Args[0]);
+    if (E.Name == "cos" && Args.size() == 1)
+      return std::cos(Args[0]);
+    if (E.Name == "pow" && Args.size() == 2)
+      return std::pow(Args[0], Args[1]);
+    if (E.Name == "min" && Args.size() == 2)
+      return std::min(Args[0], Args[1]);
+    if (E.Name == "max" && Args.size() == 2)
+      return std::max(Args[0], Args[1]);
+    fail("unknown function '" + E.Name + "' in statement body");
+    return 0.0;
+  }
+  }
+  return 0.0;
+}

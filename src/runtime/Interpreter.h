@@ -1,0 +1,76 @@
+//===- runtime/Interpreter.h - AST interpreter ------------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a generated loop AST (and through the identity schedule, the
+/// original program) directly over in-memory arrays. This is the testing
+/// substrate: semantic equivalence of original vs. transformed code is
+/// checked without invoking a C compiler, for arbitrary problem sizes, tile
+/// sizes and transformation options.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_RUNTIME_INTERPRETER_H
+#define PLUTOPP_RUNTIME_INTERPRETER_H
+
+#include "codegen/Ast.h"
+#include "ir/Program.h"
+#include "support/Result.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+/// A flat row-major tensor (rank 0 = single element).
+struct Tensor {
+  std::vector<long long> Extents;
+  std::vector<double> Data;
+
+  static Tensor zeros(std::vector<long long> Extents);
+  /// Deterministic pseudo-random fill with small values (exactly
+  /// representable sums stay accurate in tests).
+  void fillPattern(unsigned Seed);
+
+  long long numElems() const;
+  double &at(const std::vector<long long> &Idx);
+};
+
+/// Execution environment: arrays by name, integer parameters, opaque double
+/// constants.
+class Interpreter {
+public:
+  std::map<std::string, Tensor> Arrays;
+  std::map<std::string, long long> Params;
+  std::map<std::string, double> SymConsts;
+
+  /// Allocates zero tensors for every array of Prog with the given extents
+  /// (map array -> extents).
+  void allocate(const Program &Prog,
+                const std::map<std::string, std::vector<long long>> &Extents);
+
+  /// Runs the AST over the current state. Fails on references to unknown
+  /// names, rank mismatches, or out-of-bounds accesses.
+  Result<bool> run(const Program &Prog, const CgNode &Root);
+
+private:
+  const Program *Prog = nullptr;
+  std::map<std::string, long long> IntEnv;
+  std::string Error;
+
+  void fail(const std::string &Msg);
+  long long evalCg(const CgExpr &E);
+  bool evalCond(const CgCond &C);
+  void exec(const CgNode &N);
+  void execStmt(unsigned StmtId, const std::vector<long long> &IterVals);
+  double evalBody(const Expr &E);
+  double *resolveLValue(const Expr &E);
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_RUNTIME_INTERPRETER_H

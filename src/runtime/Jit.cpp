@@ -1,0 +1,111 @@
+//===- runtime/Jit.cpp - Compile-and-run for generated C ------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Jit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pluto;
+
+using EntryFn = void (*)(double **, const long long *, const double *);
+
+CompiledKernel::CompiledKernel(CompiledKernel &&O) noexcept
+    : Handle(O.Handle), Fn(O.Fn), Dir(std::move(O.Dir)) {
+  O.Handle = nullptr;
+  O.Fn = nullptr;
+  O.Dir.clear();
+}
+
+CompiledKernel &CompiledKernel::operator=(CompiledKernel &&O) noexcept {
+  if (this != &O) {
+    reset();
+    Handle = O.Handle;
+    Fn = O.Fn;
+    Dir = std::move(O.Dir);
+    O.Handle = nullptr;
+    O.Fn = nullptr;
+    O.Dir.clear();
+  }
+  return *this;
+}
+
+CompiledKernel::~CompiledKernel() { reset(); }
+
+void CompiledKernel::reset() {
+  if (Handle)
+    dlclose(Handle);
+  Handle = nullptr;
+  Fn = nullptr;
+  if (!Dir.empty()) {
+    std::string Cmd = "rm -rf '" + Dir + "'";
+    if (system(Cmd.c_str()) != 0) {
+      // Best-effort cleanup; leaking a temp dir is not an error.
+    }
+    Dir.clear();
+  }
+}
+
+bool CompiledKernel::compilerAvailable() {
+  static int Avail = -1;
+  if (Avail < 0)
+    Avail = system("cc --version > /dev/null 2>&1") == 0 ? 1 : 0;
+  return Avail == 1;
+}
+
+Result<CompiledKernel> CompiledKernel::compile(
+    const std::string &Source, const std::string &FuncName,
+    const std::vector<std::string> &ExtraFlags) {
+  if (!compilerAvailable())
+    return Err(std::string("no C compiler ('cc') found on this host"));
+
+  char Template[] = "/tmp/plutopp-XXXXXX";
+  char *DirC = mkdtemp(Template);
+  if (!DirC)
+    return Err(std::string("mkdtemp failed"));
+  CompiledKernel K;
+  K.Dir = DirC;
+
+  std::string SrcPath = K.Dir + "/kernel.c";
+  std::string SoPath = K.Dir + "/kernel.so";
+  std::string LogPath = K.Dir + "/cc.log";
+  {
+    std::ofstream Out(SrcPath);
+    Out << Source;
+  }
+  std::string Cmd = "cc -O3 -march=native -funroll-loops -fopenmp -shared "
+                    "-fPIC -std=c99 -o '" +
+                    SoPath + "' '" + SrcPath + "' -lm";
+  for (const std::string &F : ExtraFlags)
+    Cmd += " " + F;
+  Cmd += " > '" + LogPath + "' 2>&1";
+  if (system(Cmd.c_str()) != 0) {
+    std::ifstream Log(LogPath);
+    std::string Msg((std::istreambuf_iterator<char>(Log)),
+                    std::istreambuf_iterator<char>());
+    return Err("compilation of generated code failed:\n" + Msg);
+  }
+  K.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!K.Handle)
+    return Err("dlopen failed: " + std::string(dlerror()));
+  std::string Entry = FuncName + "_entry";
+  K.Fn = dlsym(K.Handle, Entry.c_str());
+  if (!K.Fn)
+    return Err("dlsym failed for '" + Entry + "'");
+  return std::move(K);
+}
+
+void CompiledKernel::call(const std::vector<double *> &Arrays,
+                          const std::vector<long long> &Params,
+                          const std::vector<double> &Consts) const {
+  assert(Fn && "calling an invalid kernel");
+  std::vector<double *> A = Arrays; // Entry takes non-const double**.
+  reinterpret_cast<EntryFn>(Fn)(A.data(), Params.data(), Consts.data());
+}

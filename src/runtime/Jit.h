@@ -1,0 +1,66 @@
+//===- runtime/Jit.h - Compile-and-run for generated C ----------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes generated OpenMP C through the system compiler: write the
+/// translation unit to a temporary directory, invoke `cc -O3 -fopenmp
+/// -shared`, dlopen the result and call the kernel. This reproduces the
+/// paper's methodology (source-to-source + native compiler: icc 10.0 there,
+/// the host cc here - see DESIGN.md substitutions) and is what the
+/// benchmark harness measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_RUNTIME_JIT_H
+#define PLUTOPP_RUNTIME_JIT_H
+
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+/// A compiled kernel: f(double* arrays..., long long params...,
+/// double symconsts...). Arguments are passed through libffi-free variadic
+/// trampolines specialized by count; see call().
+class CompiledKernel {
+public:
+  CompiledKernel() = default;
+  CompiledKernel(CompiledKernel &&O) noexcept;
+  CompiledKernel &operator=(CompiledKernel &&O) noexcept;
+  ~CompiledKernel();
+  CompiledKernel(const CompiledKernel &) = delete;
+  CompiledKernel &operator=(const CompiledKernel &) = delete;
+
+  /// Compiles Source (a full C translation unit defining FuncName) and
+  /// loads it. ExtraFlags are appended to the compiler command line.
+  static Result<CompiledKernel>
+  compile(const std::string &Source, const std::string &FuncName = "kernel",
+          const std::vector<std::string> &ExtraFlags = {});
+
+  /// True if a usable C compiler was found on this host.
+  static bool compilerAvailable();
+
+  /// Invokes the kernel. The argument lists must match the emitted
+  /// signature (arrays, then integer parameters, then double constants).
+  void call(const std::vector<double *> &Arrays,
+            const std::vector<long long> &Params,
+            const std::vector<double> &Consts) const;
+
+  bool valid() const { return Fn != nullptr; }
+
+private:
+  void *Handle = nullptr;
+  void *Fn = nullptr;
+  std::string Dir;
+
+  void reset();
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_RUNTIME_JIT_H

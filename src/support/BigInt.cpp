@@ -1,0 +1,358 @@
+//===- support/BigInt.cpp - Arbitrary-precision integers ------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+
+using namespace pluto;
+
+BigInt::BigInt(long long V) {
+  if (V == 0) {
+    Sign = 0;
+    return;
+  }
+  Sign = V < 0 ? -1 : 1;
+  // Careful with LLONG_MIN: negate in unsigned space.
+  unsigned long long U =
+      V < 0 ? ~static_cast<unsigned long long>(V) + 1ULL
+            : static_cast<unsigned long long>(V);
+  while (U != 0) {
+    Mag.push_back(static_cast<uint32_t>(U & 0xffffffffULL));
+    U >>= 32;
+  }
+}
+
+BigInt BigInt::fromString(const std::string &S) {
+  assert(!S.empty() && "empty integer literal");
+  size_t I = 0;
+  bool Neg = false;
+  if (S[0] == '-' || S[0] == '+') {
+    Neg = S[0] == '-';
+    I = 1;
+  }
+  assert(I < S.size() && "sign with no digits");
+  BigInt R;
+  BigInt Ten(10);
+  for (; I < S.size(); ++I) {
+    assert(S[I] >= '0' && S[I] <= '9' && "non-digit in integer literal");
+    R = R * Ten + BigInt(S[I] - '0');
+  }
+  return Neg ? -R : R;
+}
+
+void BigInt::normalize() {
+  while (!Mag.empty() && Mag.back() == 0)
+    Mag.pop_back();
+  if (Mag.empty())
+    Sign = 0;
+}
+
+bool BigInt::isOne() const {
+  return Sign == 1 && Mag.size() == 1 && Mag[0] == 1;
+}
+
+bool BigInt::isMinusOne() const {
+  return Sign == -1 && Mag.size() == 1 && Mag[0] == 1;
+}
+
+bool BigInt::fitsInt64() const {
+  if (Mag.size() < 2)
+    return true;
+  if (Mag.size() > 2)
+    return false;
+  uint64_t U = (static_cast<uint64_t>(Mag[1]) << 32) | Mag[0];
+  if (Sign > 0)
+    return U <= static_cast<uint64_t>(INT64_MAX);
+  return U <= static_cast<uint64_t>(INT64_MAX) + 1;
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "BigInt does not fit in int64");
+  uint64_t U = 0;
+  if (Mag.size() >= 1)
+    U |= Mag[0];
+  if (Mag.size() >= 2)
+    U |= static_cast<uint64_t>(Mag[1]) << 32;
+  if (Sign < 0)
+    return -static_cast<int64_t>(U - 1) - 1; // Handles INT64_MIN.
+  return static_cast<int64_t>(U);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt R = *this;
+  R.Sign = -R.Sign;
+  return R;
+}
+
+BigInt BigInt::abs() const {
+  BigInt R = *this;
+  if (R.Sign < 0)
+    R.Sign = 1;
+  return R;
+}
+
+int BigInt::compareMag(const std::vector<uint32_t> &A,
+                       const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Sign != RHS.Sign)
+    return Sign < RHS.Sign ? -1 : 1;
+  if (Sign == 0)
+    return 0;
+  int C = compareMag(Mag, RHS.Mag);
+  return Sign > 0 ? C : -C;
+}
+
+std::vector<uint32_t> BigInt::addMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Lo = A.size() < B.size() ? A : B;
+  const std::vector<uint32_t> &Hi = A.size() < B.size() ? B : A;
+  std::vector<uint32_t> R;
+  R.reserve(Hi.size() + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Hi.size(); ++I) {
+    uint64_t S = Carry + Hi[I] + (I < Lo.size() ? Lo[I] : 0);
+    R.push_back(static_cast<uint32_t>(S));
+    Carry = S >> 32;
+  }
+  if (Carry)
+    R.push_back(static_cast<uint32_t>(Carry));
+  return R;
+}
+
+std::vector<uint32_t> BigInt::subMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  assert(compareMag(A, B) >= 0 && "subMag requires |A| >= |B|");
+  std::vector<uint32_t> R;
+  R.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t S = static_cast<int64_t>(A[I]) - Borrow -
+                (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (S < 0) {
+      S += 1LL << 32;
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    R.push_back(static_cast<uint32_t>(S));
+  }
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+std::vector<uint32_t> BigInt::mulMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> R(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Cur = R[I + J] + Carry +
+                     static_cast<uint64_t>(A[I]) * static_cast<uint64_t>(B[J]);
+      R[I + J] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Cur = R[K] + Carry;
+      R[K] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+std::vector<uint32_t> BigInt::divModMag(const std::vector<uint32_t> &A,
+                                        const std::vector<uint32_t> &B,
+                                        std::vector<uint32_t> &Rem) {
+  assert(!B.empty() && "division by zero");
+  Rem.clear();
+  if (compareMag(A, B) < 0) {
+    Rem = A;
+    return {};
+  }
+  // Fast path: single-limb divisor.
+  if (B.size() == 1) {
+    uint64_t D = B[0];
+    std::vector<uint32_t> Q(A.size(), 0);
+    uint64_t R = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = (R << 32) | A[I];
+      Q[I] = static_cast<uint32_t>(Cur / D);
+      R = Cur % D;
+    }
+    while (!Q.empty() && Q.back() == 0)
+      Q.pop_back();
+    if (R)
+      Rem.push_back(static_cast<uint32_t>(R));
+    return Q;
+  }
+  // General case: bitwise long division. O(bits * limbs) but simple and
+  // exact; divisor sizes in this code base are small.
+  size_t Bits = A.size() * 32;
+  std::vector<uint32_t> Q(A.size(), 0);
+  std::vector<uint32_t> R;
+  for (size_t I = Bits; I-- > 0;) {
+    // R = (R << 1) | bit I of A.
+    uint32_t CarryBit = 0;
+    for (size_t J = 0; J < R.size(); ++J) {
+      uint32_t NewCarry = R[J] >> 31;
+      R[J] = (R[J] << 1) | CarryBit;
+      CarryBit = NewCarry;
+    }
+    if (CarryBit)
+      R.push_back(1);
+    uint32_t BitI = (A[I / 32] >> (I % 32)) & 1;
+    if (BitI) {
+      if (R.empty())
+        R.push_back(0);
+      R[0] |= 1;
+    }
+    while (!R.empty() && R.back() == 0)
+      R.pop_back();
+    if (compareMag(R, B) >= 0) {
+      R = subMag(R, B);
+      Q[I / 32] |= 1u << (I % 32);
+    }
+  }
+  while (!Q.empty() && Q.back() == 0)
+    Q.pop_back();
+  Rem = R;
+  return Q;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (Sign == 0)
+    return RHS;
+  if (RHS.Sign == 0)
+    return *this;
+  BigInt R;
+  if (Sign == RHS.Sign) {
+    R.Sign = Sign;
+    R.Mag = addMag(Mag, RHS.Mag);
+    return R;
+  }
+  int C = compareMag(Mag, RHS.Mag);
+  if (C == 0)
+    return BigInt();
+  if (C > 0) {
+    R.Sign = Sign;
+    R.Mag = subMag(Mag, RHS.Mag);
+  } else {
+    R.Sign = RHS.Sign;
+    R.Mag = subMag(RHS.Mag, Mag);
+  }
+  return R;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  BigInt R;
+  R.Sign = Sign * RHS.Sign;
+  if (R.Sign != 0)
+    R.Mag = mulMag(Mag, RHS.Mag);
+  R.normalize();
+  return R;
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  if (Sign == 0)
+    return BigInt();
+  std::vector<uint32_t> Rem;
+  BigInt Q;
+  Q.Mag = divModMag(Mag, RHS.Mag, Rem);
+  Q.Sign = Q.Mag.empty() ? 0 : Sign * RHS.Sign;
+  return Q;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  if (Sign == 0)
+    return BigInt();
+  std::vector<uint32_t> Rem;
+  divModMag(Mag, RHS.Mag, Rem);
+  BigInt R;
+  R.Mag = Rem;
+  R.Sign = Rem.empty() ? 0 : Sign;
+  return R;
+}
+
+BigInt BigInt::floorDiv(const BigInt &RHS) const {
+  BigInt Q = *this / RHS;
+  BigInt R = *this % RHS;
+  if (!R.isZero() && (R.isNegative() != RHS.isNegative()))
+    Q -= BigInt(1);
+  return Q;
+}
+
+BigInt BigInt::ceilDiv(const BigInt &RHS) const {
+  BigInt Q = *this / RHS;
+  BigInt R = *this % RHS;
+  if (!R.isZero() && (R.isNegative() == RHS.isNegative()))
+    Q += BigInt(1);
+  return Q;
+}
+
+BigInt BigInt::floorMod(const BigInt &RHS) const {
+  BigInt R = *this - floorDiv(RHS) * RHS;
+  assert(!R.isNegative() && "floorMod must be non-negative");
+  return R;
+}
+
+BigInt BigInt::divExact(const BigInt &RHS) const {
+  BigInt Q = *this / RHS;
+  assert((Q * RHS == *this) && "divExact with non-divisible operands");
+  return Q;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  BigInt X = A.abs(), Y = B.abs();
+  while (!Y.isZero()) {
+    BigInt T = X % Y;
+    X = Y;
+    Y = T;
+  }
+  return X;
+}
+
+BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt();
+  return (A.abs() / gcd(A, B)) * B.abs();
+}
+
+std::string BigInt::toString() const {
+  if (Sign == 0)
+    return "0";
+  std::string Digits;
+  std::vector<uint32_t> M = Mag;
+  std::vector<uint32_t> Ten = {10};
+  while (!M.empty()) {
+    std::vector<uint32_t> Rem;
+    M = divModMag(M, Ten, Rem);
+    Digits.push_back(static_cast<char>('0' + (Rem.empty() ? 0 : Rem[0])));
+  }
+  if (Sign < 0)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}

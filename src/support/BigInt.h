@@ -1,0 +1,118 @@
+//===- support/BigInt.h - Arbitrary-precision integers ----------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude arbitrary-precision integer used throughout the polyhedral
+/// machinery (Fourier-Motzkin elimination, the lexmin simplex and Farkas
+/// multiplier elimination can all overflow 64-bit intermediates). The design
+/// favours simplicity and exactness over raw speed: magnitudes are stored as
+/// little-endian vectors of 32-bit limbs. This plays the role GMP plays for
+/// PipLib/PolyLib in the original Pluto tool-chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SUPPORT_BIGINT_H
+#define PLUTOPP_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+/// Arbitrary-precision signed integer.
+///
+/// Division follows C semantics (truncation toward zero); floorDiv/ceilDiv
+/// provide the rounding variants polyhedral code generation needs.
+class BigInt {
+public:
+  BigInt() : Sign(0) {}
+  BigInt(long long V);
+
+  /// Parses a base-10 literal with optional leading '-'. Asserts on malformed
+  /// input (this is an internal type; inputs are trusted).
+  static BigInt fromString(const std::string &S);
+
+  bool isZero() const { return Sign == 0; }
+  bool isNegative() const { return Sign < 0; }
+  bool isPositive() const { return Sign > 0; }
+  bool isOne() const;
+  bool isMinusOne() const;
+
+  /// Returns true iff the value fits in a signed 64-bit integer.
+  bool fitsInt64() const;
+  /// Converts to int64; asserts that the value fits.
+  int64_t toInt64() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+  /// Truncating division (C semantics). Asserts RHS != 0.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder with C semantics: (a/b)*b + a%b == a.
+  BigInt operator%(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+  BigInt &operator/=(const BigInt &RHS) { return *this = *this / RHS; }
+
+  /// Floor division: rounds toward negative infinity.
+  BigInt floorDiv(const BigInt &RHS) const;
+  /// Ceiling division: rounds toward positive infinity.
+  BigInt ceilDiv(const BigInt &RHS) const;
+  /// Non-negative remainder of floor division (always in [0, |RHS|)).
+  BigInt floorMod(const BigInt &RHS) const;
+
+  /// Exact division; asserts that RHS divides this exactly.
+  BigInt divExact(const BigInt &RHS) const;
+
+  bool operator==(const BigInt &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const BigInt &RHS) const { return compare(RHS) != 0; }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison: negative, zero or positive.
+  int compare(const BigInt &RHS) const;
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt gcd(const BigInt &A, const BigInt &B);
+  /// Least common multiple (always non-negative). lcm(0, x) == 0.
+  static BigInt lcm(const BigInt &A, const BigInt &B);
+
+  std::string toString() const;
+
+private:
+  /// -1, 0 or +1. Magnitude is empty iff Sign == 0.
+  int Sign;
+  /// Little-endian 32-bit limbs; no trailing zero limbs.
+  std::vector<uint32_t> Mag;
+
+  void normalize();
+  static int compareMag(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> addMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> subMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> mulMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  /// Schoolbook long division of magnitudes; returns quotient, sets Rem.
+  static std::vector<uint32_t> divModMag(const std::vector<uint32_t> &A,
+                                         const std::vector<uint32_t> &B,
+                                         std::vector<uint32_t> &Rem);
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_SUPPORT_BIGINT_H

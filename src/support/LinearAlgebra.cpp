@@ -1,0 +1,137 @@
+//===- support/LinearAlgebra.cpp - Rank, inverse, orthogonal space --------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LinearAlgebra.h"
+
+using namespace pluto;
+
+RatMatrix pluto::toRational(const IntMatrix &M) {
+  RatMatrix R(M.numRows(), M.numCols());
+  for (unsigned I = 0; I < M.numRows(); ++I)
+    for (unsigned J = 0; J < M.numCols(); ++J)
+      R(I, J) = Rational(M(I, J));
+  return R;
+}
+
+/// Reduces M to row echelon form in place; returns the rank.
+static unsigned echelonize(RatMatrix &M) {
+  unsigned Rank = 0;
+  for (unsigned Col = 0; Col < M.numCols() && Rank < M.numRows(); ++Col) {
+    // Find a pivot row.
+    unsigned Pivot = Rank;
+    while (Pivot < M.numRows() && M(Pivot, Col).isZero())
+      ++Pivot;
+    if (Pivot == M.numRows())
+      continue;
+    std::swap(M.row(Pivot), M.row(Rank));
+    for (unsigned R = Rank + 1; R < M.numRows(); ++R) {
+      if (M(R, Col).isZero())
+        continue;
+      Rational F = M(R, Col) / M(Rank, Col);
+      for (unsigned C = Col; C < M.numCols(); ++C)
+        M(R, C) -= F * M(Rank, C);
+    }
+    ++Rank;
+  }
+  return Rank;
+}
+
+unsigned pluto::rank(const RatMatrix &M) {
+  RatMatrix Copy = M;
+  return echelonize(Copy);
+}
+
+unsigned pluto::rank(const IntMatrix &M) { return rank(toRational(M)); }
+
+std::optional<RatMatrix> pluto::inverse(const RatMatrix &M) {
+  assert(M.numRows() == M.numCols() && "inverse of non-square matrix");
+  unsigned N = M.numRows();
+  RatMatrix A = M;
+  RatMatrix Inv = RatMatrix::identity(N);
+  for (unsigned Col = 0; Col < N; ++Col) {
+    unsigned Pivot = Col;
+    while (Pivot < N && A(Pivot, Col).isZero())
+      ++Pivot;
+    if (Pivot == N)
+      return std::nullopt; // Singular.
+    std::swap(A.row(Pivot), A.row(Col));
+    std::swap(Inv.row(Pivot), Inv.row(Col));
+    Rational P = A(Col, Col);
+    for (unsigned C = 0; C < N; ++C) {
+      A(Col, C) /= P;
+      Inv(Col, C) /= P;
+    }
+    for (unsigned R = 0; R < N; ++R) {
+      if (R == Col || A(R, Col).isZero())
+        continue;
+      Rational F = A(R, Col);
+      for (unsigned C = 0; C < N; ++C) {
+        A(R, C) -= F * A(Col, C);
+        Inv(R, C) -= F * Inv(Col, C);
+      }
+    }
+  }
+  return Inv;
+}
+
+void pluto::normalizeByGcd(std::vector<BigInt> &Row) {
+  BigInt G(0);
+  for (const BigInt &V : Row)
+    G = BigInt::gcd(G, V);
+  if (G.isZero() || G.isOne())
+    return;
+  for (BigInt &V : Row)
+    V = V.divExact(G);
+}
+
+IntMatrix pluto::orthogonalComplement(const IntMatrix &H) {
+  unsigned N = H.numCols();
+  if (H.numRows() == 0)
+    return IntMatrix::identity(N);
+
+  RatMatrix HR = toRational(H);
+  RatMatrix HHt = HR * HR.transpose();
+  std::optional<RatMatrix> HHtInv = inverse(HHt);
+  assert(HHtInv && "orthogonalComplement requires full row-rank H");
+
+  // Perp = I - H^T (H H^T)^{-1} H.
+  RatMatrix Proj = HR.transpose() * (*HHtInv * HR);
+  RatMatrix Perp(N, N);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < N; ++J)
+      Perp(I, J) = Rational(I == J ? 1 : 0) - Proj(I, J);
+
+  // Scale each row to integers and drop dependent/zero rows, keeping only a
+  // basis (rank(Perp) = N - rank(H) rows).
+  IntMatrix Result(N);
+  IntMatrix Basis(N);
+  for (unsigned I = 0; I < N; ++I) {
+    BigInt Lcm(1);
+    for (unsigned J = 0; J < N; ++J)
+      Lcm = BigInt::lcm(Lcm, Perp(I, J).den());
+    std::vector<BigInt> Row(N);
+    bool AllZero = true;
+    for (unsigned J = 0; J < N; ++J) {
+      Row[J] = Perp(I, J).num() * Lcm.divExact(Perp(I, J).den());
+      AllZero &= Row[J].isZero();
+    }
+    if (AllZero)
+      continue;
+    normalizeByGcd(Row);
+    if (!isLinearlyIndependent(Basis, Row))
+      continue;
+    Basis.addRow(Row);
+    Result.addRow(std::move(Row));
+  }
+  return Result;
+}
+
+bool pluto::isLinearlyIndependent(const IntMatrix &M,
+                                  const std::vector<BigInt> &Row) {
+  IntMatrix Ext = M;
+  Ext.addRow(Row);
+  return rank(Ext) == M.numRows() + 1;
+}

@@ -1,0 +1,108 @@
+//===- support/Rational.h - Exact rational numbers --------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational arithmetic on top of BigInt. Used by the lexmin simplex
+/// tableau and by rational linear algebra (matrix inverse, orthogonal
+/// complement). Values are kept normalized: gcd(Num, Den) == 1 and Den > 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SUPPORT_RATIONAL_H
+#define PLUTOPP_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+namespace pluto {
+
+/// An exact rational number Num/Den with Den > 0 and gcd(Num, Den) == 1.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(long long V) : Num(V), Den(1) {}
+  Rational(BigInt N) : Num(std::move(N)), Den(1) {}
+  Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
+    normalize();
+  }
+
+  const BigInt &num() const { return Num; }
+  const BigInt &den() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isPositive() const { return Num.isPositive(); }
+  bool isInteger() const { return Den.isOne(); }
+
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  Rational operator+(const Rational &R) const {
+    return Rational(Num * R.Den + R.Num * Den, Den * R.Den);
+  }
+  Rational operator-(const Rational &R) const {
+    return Rational(Num * R.Den - R.Num * Den, Den * R.Den);
+  }
+  Rational operator*(const Rational &R) const {
+    return Rational(Num * R.Num, Den * R.Den);
+  }
+  Rational operator/(const Rational &R) const {
+    assert(!R.isZero() && "rational division by zero");
+    return Rational(Num * R.Den, Den * R.Num);
+  }
+
+  Rational &operator+=(const Rational &R) { return *this = *this + R; }
+  Rational &operator-=(const Rational &R) { return *this = *this - R; }
+  Rational &operator*=(const Rational &R) { return *this = *this * R; }
+  Rational &operator/=(const Rational &R) { return *this = *this / R; }
+
+  /// Three-way comparison.
+  int compare(const Rational &R) const {
+    return (Num * R.Den).compare(R.Num * Den);
+  }
+  bool operator==(const Rational &R) const { return compare(R) == 0; }
+  bool operator!=(const Rational &R) const { return compare(R) != 0; }
+  bool operator<(const Rational &R) const { return compare(R) < 0; }
+  bool operator<=(const Rational &R) const { return compare(R) <= 0; }
+  bool operator>(const Rational &R) const { return compare(R) > 0; }
+  bool operator>=(const Rational &R) const { return compare(R) >= 0; }
+
+  /// Largest integer <= value.
+  BigInt floor() const { return Num.floorDiv(Den); }
+  /// Smallest integer >= value.
+  BigInt ceil() const { return Num.ceilDiv(Den); }
+  /// Fractional part: value - floor(value), in [0, 1).
+  Rational fract() const { return *this - Rational(floor()); }
+
+  std::string toString() const {
+    if (Den.isOne())
+      return Num.toString();
+    return Num.toString() + "/" + Den.toString();
+  }
+
+private:
+  BigInt Num;
+  BigInt Den;
+
+  void normalize() {
+    assert(!Den.isZero() && "rational with zero denominator");
+    if (Den.isNegative()) {
+      Num = -Num;
+      Den = -Den;
+    }
+    if (Num.isZero()) {
+      Den = BigInt(1);
+      return;
+    }
+    BigInt G = BigInt::gcd(Num, Den);
+    if (!G.isOne()) {
+      Num = Num.divExact(G);
+      Den = Den.divExact(G);
+    }
+  }
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_SUPPORT_RATIONAL_H

@@ -1,0 +1,73 @@
+//===- support/Result.h - Lightweight error propagation ---------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Expected-style result type. Library code does not throw; fallible
+/// operations (parsing, pipeline stages) return Result<T> carrying either a
+/// value or an error message, in the spirit of llvm::Expected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SUPPORT_RESULT_H
+#define PLUTOPP_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pluto {
+
+/// Tag type for constructing a failed Result.
+struct Err {
+  std::string Message;
+  explicit Err(std::string M) : Message(std::move(M)) {}
+};
+
+/// Holds either a T or an error message.
+template <typename T> class Result {
+public:
+  Result(T Value) : Value(std::move(Value)) {}
+  Result(Err E) : Error(std::move(E.Message)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing failed Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing failed Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing failed Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing failed Result");
+    return &*Value;
+  }
+
+  T takeValue() {
+    assert(Value && "taking value of failed Result");
+    return std::move(*Value);
+  }
+
+  const std::string &error() const {
+    assert(!Value && "error() on successful Result");
+    return Error;
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Error;
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_SUPPORT_RESULT_H

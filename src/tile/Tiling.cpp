@@ -1,0 +1,162 @@
+//===- tile/Tiling.cpp - Tiling and wavefront passes ----------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tile/Tiling.h"
+
+#include <algorithm>
+
+using namespace pluto;
+
+Schedule::Band pluto::tileBand(Scop &S, const Schedule::Band &Band,
+                               const std::vector<unsigned> &TileSizes) {
+  assert(TileSizes.size() == Band.Width && "one tile size per band row");
+  unsigned K = Band.Width;
+  unsigned Start = Band.Start;
+
+  // Fresh band id for the new tile-space rows.
+  int NewBandId = 0;
+  for (const RowInfo &R : S.Rows)
+    NewBandId = std::max(NewBandId, R.BandId + 1);
+
+  for (ScopStmt &St : S.Stmts) {
+    unsigned NP = S.Prog->numParams();
+    unsigned OldIters = static_cast<unsigned>(St.IterNames.size());
+    // Insert K supernode iterators at the front of the domain/scattering
+    // variable order (they become the outer loops).
+    St.Domain.insertDims(0, K);
+    St.Scatter.insertZeroColumns(0, K);
+    for (unsigned &P : St.OrigIterPos)
+      P += K;
+    // Supernode iterator names: unique per (band row, nesting level).
+    for (unsigned J = 0; J < K; ++J)
+      St.IterNames.insert(St.IterNames.begin() + J,
+                          "zT" + std::to_string(Start + J) + "_" +
+                              std::to_string(OldIters));
+
+    unsigned Cols = St.Scatter.numCols(); // iters + params + 1.
+    unsigned NIters = static_cast<unsigned>(St.IterNames.size());
+    assert(Cols == NIters + NP + 1 && "scatter width mismatch");
+
+    // Tile-shape constraints per band row J (paper Algorithm 1, line 5):
+    //   phi_J(i) - tau * zT_J >= 0
+    //   tau * zT_J + tau - 1 - phi_J(i) >= 0
+    for (unsigned J = 0; J < K; ++J) {
+      BigInt Tau(static_cast<long long>(TileSizes[J]));
+      // NOTE: scattering rows were not reordered yet; band row J is still
+      // at index Start + J and its columns were shifted by the K inserted
+      // iterator columns (supernode coefficients are zero there).
+      std::vector<BigInt> Lower(NIters + NP + 1, BigInt(0));
+      std::vector<BigInt> Upper(NIters + NP + 1, BigInt(0));
+      for (unsigned C = 0; C < Cols; ++C) {
+        const BigInt &V = St.Scatter(Start + J, C);
+        // Scatter columns: [iters | params | 1]; domain rows need
+        // [iters | params | 1] as well - same layout.
+        Lower[C] = V;
+        Upper[C] = -V;
+      }
+      Lower[J] -= Tau;
+      Upper[J] += Tau;
+      Upper[NIters + NP] += Tau - BigInt(1);
+      St.Domain.addIneq(std::move(Lower));
+      St.Domain.addIneq(std::move(Upper));
+    }
+
+    // New scattering rows: zT_J, inserted before the band.
+    for (unsigned J = 0; J < K; ++J) {
+      std::vector<BigInt> Row(Cols, BigInt(0));
+      Row[J] = BigInt(1);
+      St.Scatter.insertRow(Start + J, std::move(Row));
+    }
+  }
+
+  // Row metadata: tile-space rows inherit parallelism from the hyperplane
+  // they aggregate (same dependence components, Theorem 1). Snapshot the
+  // hyperplane rows first - insertion shifts indices.
+  std::vector<RowInfo> Infos;
+  for (unsigned J = 0; J < K; ++J) {
+    RowInfo Info;
+    Info.IsScalar = false;
+    Info.IsParallel = S.Rows[Start + J].IsParallel;
+    Info.BandId = NewBandId;
+    Infos.push_back(Info);
+  }
+  S.Rows.insert(S.Rows.begin() + Start, Infos.begin(), Infos.end());
+  Schedule::Band TileBand;
+  TileBand.Start = Start;
+  TileBand.Width = K;
+  for (unsigned J = 0; J < K; ++J)
+    TileBand.HasSequentialRow |= !S.Rows[Start + J].IsParallel;
+  return TileBand;
+}
+
+std::vector<Schedule::Band> pluto::tileAllBands(Scop &S, unsigned TileSize,
+                                                unsigned MinWidth) {
+  std::vector<Schedule::Band> Result;
+  // Bands shift as rows are inserted; process from innermost (last) to
+  // first so recorded starts stay valid, then collect.
+  std::vector<Schedule::Band> Bands = S.bands();
+  for (auto It = Bands.rbegin(); It != Bands.rend(); ++It) {
+    if (It->Width < MinWidth)
+      continue;
+    std::vector<unsigned> Sizes(It->Width, TileSize);
+    Result.push_back(tileBand(S, *It, Sizes));
+  }
+  std::reverse(Result.begin(), Result.end());
+  return Result;
+}
+
+bool pluto::wavefrontBand(Scop &S, const Schedule::Band &Band,
+                          unsigned Degrees) {
+  if (Band.Width < 2)
+    return false;
+  for (unsigned J = 0; J < Band.Width; ++J)
+    if (S.Rows[Band.Start + J].IsParallel)
+      return false; // Communication-free parallelism already available.
+  unsigned M = std::min(Degrees, Band.Width - 1);
+  // phi^1 <- phi^1 + ... + phi^{m+1} (unimodular on the tile space).
+  for (ScopStmt &St : S.Stmts) {
+    for (unsigned C = 0; C < St.Scatter.numCols(); ++C) {
+      BigInt Sum = St.Scatter(Band.Start, C);
+      for (unsigned J = 1; J <= M; ++J)
+        Sum += St.Scatter(Band.Start + J, C);
+      St.Scatter(Band.Start, C) = Sum;
+    }
+  }
+  for (unsigned J = 1; J <= M; ++J)
+    S.Rows[Band.Start + J].IsParallel = true;
+  S.Rows[Band.Start].IsParallel = false;
+  return true;
+}
+
+bool pluto::reorderForVectorization(Scop &S) {
+  if (S.Rows.empty())
+    return false;
+  // Operate within the innermost permutable band only: rows of one band are
+  // mutually permutable, so rotating inside it never changes tile shapes or
+  // the tile-space schedule (Section 5.4).
+  std::vector<Schedule::Band> Bands = S.bands();
+  if (Bands.empty())
+    return false;
+  unsigned Begin = Bands.back().Start;
+  unsigned End = Begin + Bands.back().Width;
+  // Innermost parallel row in the run.
+  int Par = -1;
+  for (unsigned R = Begin; R < End; ++R)
+    if (S.Rows[R].IsParallel)
+      Par = static_cast<int>(R);
+  if (Par < 0)
+    return false;
+  unsigned P = static_cast<unsigned>(Par);
+  // Rotate row P to position End-1 (bubble inward; preserves the relative
+  // order of the other rows; tile-space rows are outside this run).
+  for (unsigned R = P; R + 1 < End; ++R) {
+    for (ScopStmt &St : S.Stmts)
+      std::swap(St.Scatter.row(R), St.Scatter.row(R + 1));
+    std::swap(S.Rows[R], S.Rows[R + 1]);
+  }
+  S.Rows[End - 1].IsVector = true;
+  return true;
+}

@@ -1,0 +1,55 @@
+//===- tile/Tiling.h - Tiling and wavefront passes --------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 (tiling for multiple statements under transformations),
+/// Algorithm 2 (tiled pipelined-parallel code generation via a tile-space
+/// wavefront), and the intra-tile reordering post-pass of Section 5.4.
+///
+/// Tiling a band of width k adds, per statement, one supernode iterator
+/// zT_j per band row with the Ancourt-Irigoin style constraints
+///     tau_j * zT_j <= phi_j(i) <= tau_j * zT_j + tau_j - 1
+/// and k new scattering rows (the tile-space loops) ahead of the band. The
+/// same hyperplanes are used for the tile space and intra-tile loops, so
+/// legality follows from Theorem 1; tiling can be applied repeatedly
+/// (register/L1/L2 levels).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_TILE_TILING_H
+#define PLUTOPP_TILE_TILING_H
+
+#include "tile/Scop.h"
+
+namespace pluto {
+
+/// Tiles the band of scattering rows [Band.Start, Band.Start + Band.Width)
+/// with the given tile sizes (one per row; all > 0). Returns the band of
+/// new tile-space rows (width == Band.Width, starting at Band.Start).
+Schedule::Band tileBand(Scop &S, const Schedule::Band &Band,
+                        const std::vector<unsigned> &TileSizes);
+
+/// Tiles every permutable band of width >= MinWidth once with TileSize in
+/// all dimensions. Returns the tile-space bands created.
+std::vector<Schedule::Band> tileAllBands(Scop &S, unsigned TileSize,
+                                         unsigned MinWidth = 2);
+
+/// Algorithm 2: transforms the tile-space band so its first row becomes the
+/// wavefront sum phi^1 + ... + phi^{m+1} and rows 2..m+1 become parallel.
+/// Degrees is clamped to Band.Width - 1. No-op (returns false) if the band
+/// already contains a parallel row (communication-free parallelism exists)
+/// or Band.Width < 2.
+bool wavefrontBand(Scop &S, const Schedule::Band &Band, unsigned Degrees = 1);
+
+/// Intra-tile reordering (Section 5.4): within the innermost run of
+/// non-scalar rows, moves a parallel row to the innermost position and
+/// flags it for vectorization. Tile shapes and the tile-space schedule are
+/// unchanged. Returns true if a loop was moved/flagged.
+bool reorderForVectorization(Scop &S);
+
+} // namespace pluto
+
+#endif // PLUTOPP_TILE_TILING_H

@@ -1,0 +1,140 @@
+//===- transform/FarkasConstraints.cpp - Farkas-based constraints ---------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/FarkasConstraints.h"
+
+using namespace pluto;
+
+VarLayout::VarLayout(const Program &Prog) {
+  NumParams = Prog.numParams();
+  unsigned Off = 2 * (NumParams + 1); // (u, w) then (ur, wr).
+  for (const Statement &S : Prog.Stmts) {
+    StmtOffsets.push_back(Off);
+    StmtIters.push_back(S.numIters());
+    Off += S.numIters() + 1; // c coefficients then c0.
+  }
+  Total = Off;
+}
+
+ConstraintSystem pluto::farkasEliminate(const ConstraintSystem &DepPoly,
+                                        const IntMatrix &FormCoeffs,
+                                        unsigned NumLayoutVars) {
+  unsigned NX = DepPoly.numVars();
+  assert(FormCoeffs.numRows() == NX + 1 &&
+         "one coefficient row per dependence dim plus the constant");
+  assert(FormCoeffs.numCols() == NumLayoutVars + 1 &&
+         "coefficient rows are affine over the layout variables");
+
+  unsigned NumIneq = DepPoly.numIneqs();
+  unsigned NumEq = DepPoly.numEqs();
+  // Multipliers: lambda0, one per inequality, a +/- pair per equality.
+  unsigned NumLambda = 1 + NumIneq + 2 * NumEq;
+  unsigned V = NumLayoutVars + NumLambda;
+  unsigned L0 = NumLayoutVars; // Column of lambda0.
+
+  ConstraintSystem Sys(V);
+
+  // Coefficient-matching equalities: for each dependence-space column v,
+  //   sum_k lambda_k * A[k][v] - Form_v(layout) == 0,
+  // and for the constant column,
+  //   lambda0 + sum_k lambda_k * b_k - Form_const(layout) == 0.
+  for (unsigned X = 0; X <= NX; ++X) {
+    std::vector<BigInt> Row(V + 1, BigInt(0));
+    for (unsigned C = 0; C < NumLayoutVars; ++C)
+      Row[C] = -FormCoeffs(X, C);
+    Row[V] = -FormCoeffs(X, NumLayoutVars);
+    if (X == NX)
+      Row[L0] = BigInt(1);
+    for (unsigned K = 0; K < NumIneq; ++K)
+      Row[L0 + 1 + K] = DepPoly.ineqs()(K, X);
+    for (unsigned E = 0; E < NumEq; ++E) {
+      Row[L0 + 1 + NumIneq + 2 * E] = DepPoly.eqs()(E, X);
+      Row[L0 + 1 + NumIneq + 2 * E + 1] = -DepPoly.eqs()(E, X);
+    }
+    Sys.addEq(std::move(Row));
+  }
+  // Non-negativity of all multipliers.
+  for (unsigned K = 0; K < NumLambda; ++K) {
+    std::vector<BigInt> Row(V + 1, BigInt(0));
+    Row[L0 + K] = BigInt(1);
+    Sys.addIneq(std::move(Row));
+  }
+  // Eliminate the multipliers: the coefficient-matching equalities
+  // substitute most of them exactly; the rest fall to Fourier-Motzkin.
+  Sys.projectOut(NumLayoutVars, NumLambda);
+  Sys.normalize();
+  return Sys;
+}
+
+namespace {
+
+/// Builds the coefficient rows of delta_e = phi_dst(t) - phi_src(s) over the
+/// dependence space [s | t | p | 1], as affine functions of layout vars.
+/// Sign +1 produces +delta, -1 produces -delta.
+IntMatrix deltaCoeffs(const Dependence &D, const Program &Prog,
+                      const VarLayout &Layout, int Sign) {
+  const Statement &Src = Prog.Stmts[D.SrcStmt];
+  const Statement &Dst = Prog.Stmts[D.DstStmt];
+  unsigned NS = Src.numIters(), NT = Dst.numIters();
+  unsigned NX = D.Poly.numVars();
+  IntMatrix M(NX + 1, Layout.numVars() + 1);
+  BigInt S(Sign);
+  for (unsigned I = 0; I < NS; ++I)
+    M(I, Layout.coeffCol(D.SrcStmt, I)) -= S;
+  for (unsigned J = 0; J < NT; ++J)
+    M(NS + J, Layout.coeffCol(D.DstStmt, J)) += S;
+  // Parameters carry no phi coefficients (paper eq. (1)).
+  M(NX, Layout.stmtC0(D.DstStmt)) += S;
+  M(NX, Layout.stmtC0(D.SrcStmt)) -= S;
+  return M;
+}
+
+/// Adds a bounding function (u.p + w, columns starting at UOff/WOff) to
+/// coefficient rows M.
+void addBoundingForm(IntMatrix &M, const Dependence &D, const Program &Prog,
+                     unsigned UOff, unsigned WOff) {
+  const Statement &Src = Prog.Stmts[D.SrcStmt];
+  const Statement &Dst = Prog.Stmts[D.DstStmt];
+  unsigned NS = Src.numIters(), NT = Dst.numIters();
+  unsigned NX = D.Poly.numVars();
+  unsigned NP = Prog.numParams();
+  assert(NX == NS + NT + NP && "unexpected dependence space layout");
+  for (unsigned P = 0; P < NP; ++P)
+    M(NS + NT + P, UOff + P) += BigInt(1);
+  M(NX, WOff) += BigInt(1);
+}
+
+} // namespace
+
+ConstraintSystem pluto::legalityConstraints(const Dependence &D,
+                                            const Program &Prog,
+                                            const VarLayout &Layout) {
+  assert(D.isLegalityDep() && "input dependences impose no legality");
+  IntMatrix Form = deltaCoeffs(D, Prog, Layout, /*Sign=*/+1);
+  return farkasEliminate(D.Poly, Form, Layout.numVars());
+}
+
+ConstraintSystem pluto::boundingConstraints(const Dependence &D,
+                                            const Program &Prog,
+                                            const VarLayout &Layout) {
+  // Input dependences use the secondary bounding pair (ur, wr).
+  bool IsInput = D.Kind == DepKind::Input;
+  unsigned UOff = IsInput ? Layout.uRarOffset() : Layout.uOffset();
+  unsigned WOff = IsInput ? Layout.wRarOffset() : Layout.wOffset();
+  // u.p + w - delta >= 0 on P_e.
+  IntMatrix Upper = deltaCoeffs(D, Prog, Layout, /*Sign=*/-1);
+  addBoundingForm(Upper, D, Prog, UOff, WOff);
+  ConstraintSystem Sys = farkasEliminate(D.Poly, Upper, Layout.numVars());
+  if (IsInput) {
+    // Input dependences may have negative components in the transformed
+    // space: bound from below as well (paper Section 4.1).
+    IntMatrix Lower = deltaCoeffs(D, Prog, Layout, /*Sign=*/+1);
+    addBoundingForm(Lower, D, Prog, UOff, WOff);
+    Sys.append(farkasEliminate(D.Poly, Lower, Layout.numVars()));
+    Sys.normalize();
+  }
+  return Sys;
+}

@@ -1,0 +1,420 @@
+//===- transform/PlutoTransform.cpp - The Pluto algorithm -----------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PlutoTransform.h"
+
+#include "ilp/LexMin.h"
+#include "support/LinearAlgebra.h"
+#include "transform/FarkasConstraints.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Set PLUTOPP_DEBUG=1 to trace the hyperplane search on stderr.
+static bool debugEnabled() {
+  static bool Enabled = std::getenv("PLUTOPP_DEBUG") != nullptr;
+  return Enabled;
+}
+
+using namespace pluto;
+
+std::vector<BigInt> pluto::deltaRow(const Dependence &D, const Schedule &Sched,
+                                    unsigned R) {
+  const IntMatrix &SrcM = Sched.StmtRows[D.SrcStmt];
+  const IntMatrix &DstM = Sched.StmtRows[D.DstStmt];
+  unsigned NS = SrcM.numCols() - 1;
+  unsigned NT = DstM.numCols() - 1;
+  unsigned NX = D.Poly.numVars();
+  std::vector<BigInt> Row(NX + 1, BigInt(0));
+  for (unsigned I = 0; I < NS; ++I)
+    Row[I] = -SrcM(R, I);
+  for (unsigned J = 0; J < NT; ++J)
+    Row[NS + J] = DstM(R, J);
+  Row[NX] = DstM(R, NT) - SrcM(R, NS);
+  return Row;
+}
+
+/// Tests emptiness of D.Poly intersected with one extra inequality.
+static bool emptyWith(const Dependence &D, std::vector<BigInt> ExtraIneq) {
+  ConstraintSystem CS = D.Poly;
+  CS.addIneq(std::move(ExtraIneq));
+  return CS.isIntegerEmpty();
+}
+
+bool pluto::stronglySatisfiedAt(const Dependence &D, const Schedule &Sched,
+                                unsigned R) {
+  // No point with delta <= 0, i.e. with -delta >= 0.
+  std::vector<BigInt> Neg = deltaRow(D, Sched, R);
+  for (BigInt &V : Neg)
+    V = -V;
+  return emptyWith(D, std::move(Neg));
+}
+
+bool pluto::weaklyLegalAt(const Dependence &D, const Schedule &Sched,
+                          unsigned R) {
+  // No point with delta <= -1.
+  std::vector<BigInt> Neg = deltaRow(D, Sched, R);
+  for (BigInt &V : Neg)
+    V = -V;
+  Neg[Neg.size() - 1] -= BigInt(1);
+  return emptyWith(D, std::move(Neg));
+}
+
+bool pluto::zeroAt(const Dependence &D, const Schedule &Sched, unsigned R) {
+  std::vector<BigInt> Pos = deltaRow(D, Sched, R);
+  Pos[Pos.size() - 1] -= BigInt(1); // delta - 1 >= 0: some point with delta>=1?
+  if (!emptyWith(D, Pos))
+    return false;
+  std::vector<BigInt> Neg = deltaRow(D, Sched, R);
+  for (BigInt &V : Neg)
+    V = -V;
+  Neg[Neg.size() - 1] -= BigInt(1); // -delta - 1 >= 0: some point <= -1?
+  return emptyWith(D, std::move(Neg));
+}
+
+void pluto::detectParallelism(const DependenceGraph &DG, Schedule &Sched) {
+  for (unsigned R = 0; R < Sched.numRows(); ++R) {
+    if (Sched.Rows[R].IsScalar)
+      continue;
+    bool Parallel = true;
+    for (const Dependence &D : DG.Deps) {
+      if (!D.isLegalityDep())
+        continue;
+      // Dependences handled by outer rows do not constrain this level.
+      if (D.SatisfiedAtRow >= 0 && D.SatisfiedAtRow < static_cast<int>(R))
+        continue;
+      if (!zeroAt(D, Sched, R)) {
+        Parallel = false;
+        break;
+      }
+    }
+    Sched.Rows[R].IsParallel = Parallel;
+  }
+}
+
+namespace {
+
+/// Mutable search state of the main algorithm.
+class PlutoSearch {
+public:
+  PlutoSearch(const Program &Prog, DependenceGraph &DG,
+              const TransformOptions &Opts)
+      : Prog(Prog), DG(DG), Opts(Opts), Layout(Prog) {
+    Sched.StmtRows.resize(Prog.Stmts.size());
+    for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+      Sched.StmtRows[S] = IntMatrix(Prog.Stmts[S].numIters() + 1);
+      HBasis.push_back(IntMatrix(Prog.Stmts[S].numIters()));
+    }
+  }
+
+  Result<Schedule> run() {
+    // Hyperplanes are found iteratively until every statement has a full
+    // set of linearly independent ones AND every dependence is strongly
+    // satisfied (paper Sec. 3.2). Past full rank, additional (dependent)
+    // rows may still be needed to order instances the earlier rows tied;
+    // the cheap statement-ordering scalar dimension is preferred whenever
+    // it finishes the job legally.
+    while (needsMoreIndependentRows() || !allDepsSatisfied()) {
+      if (Sched.numRows() >= Opts.MaxRows)
+        return Err(std::string(
+            "transformation did not converge (row cap exceeded)"));
+      if (!needsMoreIndependentRows() && textualRowWouldHelp()) {
+        appendTextualOrderRow();
+        continue;
+      }
+      unsigned SatBefore = numSatisfied();
+      unsigned RankBefore = totalRank();
+      if (findHyperplane()) {
+        if (totalRank() > RankBefore || numSatisfied() > SatBefore)
+          continue;
+        removeLastRow(); // Stall: the row ordered nothing new.
+      }
+      if (cut())
+        continue;
+      return Err(std::string(
+          "no legal hyperplane and no cut available: the program "
+          "admits no non-negative-coefficient affine schedule"));
+    }
+    detectParallelism(DG, Sched);
+    return std::move(Sched);
+  }
+
+private:
+  const Program &Prog;
+  DependenceGraph &DG;
+  const TransformOptions &Opts;
+  VarLayout Layout;
+  Schedule Sched;
+  /// Per statement: linearly independent iterator-coefficient rows found.
+  std::vector<IntMatrix> HBasis;
+  /// First row of the band currently being grown; dependences satisfied at
+  /// rows >= BandStart still participate in legality (permutability).
+  unsigned BandStart = 0;
+  int CurBandId = 0;
+
+  bool needsMoreIndependentRows() const {
+    for (unsigned S = 0; S < Prog.Stmts.size(); ++S)
+      if (HBasis[S].numRows() < Prog.Stmts[S].numIters())
+        return true;
+    return false;
+  }
+
+  bool allDepsSatisfied() const {
+    for (const Dependence &D : DG.Deps)
+      if (D.isLegalityDep() && !D.satisfied())
+        return false;
+    return true;
+  }
+
+  unsigned numSatisfied() const {
+    unsigned N = 0;
+    for (const Dependence &D : DG.Deps)
+      N += D.isLegalityDep() && D.satisfied();
+    return N;
+  }
+
+  unsigned totalRank() const {
+    unsigned R = 0;
+    for (const IntMatrix &H : HBasis)
+      R += H.numRows();
+    return R;
+  }
+
+  void removeLastRow() {
+    assert(Sched.numRows() > 0 && "no row to remove");
+    for (IntMatrix &M : Sched.StmtRows)
+      M.removeRow(M.numRows() - 1);
+    Sched.Rows.pop_back();
+  }
+
+  /// True if appending the textual-order scalar dimension is legal for all
+  /// remaining dependences (source position <= destination position) and
+  /// strongly satisfies at least one of them.
+  bool textualRowWouldHelp() const {
+    bool Progress = false;
+    for (const Dependence &D : DG.Deps) {
+      if (!D.isLegalityDep() || D.satisfied())
+        continue;
+      if (D.SrcStmt > D.DstStmt)
+        return false; // The ordering dimension would reverse it.
+      Progress |= D.SrcStmt < D.DstStmt;
+    }
+    return Progress;
+  }
+
+  /// A dependence constrains the current search if it has not been
+  /// satisfied before the current band started.
+  bool isActive(const Dependence &D) const {
+    return !D.satisfied() ||
+           D.SatisfiedAtRow >= static_cast<int>(BandStart);
+  }
+
+  /// Attempts to find the next hyperplane via the lexmin ILP; returns true
+  /// and appends the row on success.
+  bool findHyperplane() {
+    ConstraintSystem Sys(Layout.numVars());
+    for (const Dependence &D : DG.Deps) {
+      if (D.Kind == DepKind::Input) {
+        Sys.append(boundingConstraints(D, Prog, Layout));
+        continue;
+      }
+      if (!isActive(D))
+        continue;
+      Sys.append(legalityConstraints(D, Prog, Layout));
+      Sys.append(boundingConstraints(D, Prog, Layout));
+    }
+    // Trivial-solution avoidance: sum of iterator coefficients >= 1 per
+    // statement (Section 4.2). Statements with no surrounding loop are
+    // exempt (their only coefficient is c0).
+    for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+      unsigned M = Layout.stmtNumIters(S);
+      if (M == 0)
+        continue;
+      std::vector<BigInt> Row(Layout.numVars() + 1, BigInt(0));
+      for (unsigned I = 0; I < M; ++I)
+        Row[Layout.coeffCol(S, I)] = BigInt(1);
+      Row[Layout.numVars()] = BigInt(-1);
+      Sys.addIneq(std::move(Row));
+    }
+    // Linear independence for statements still needing rows: every row r of
+    // the orthogonal complement gives r.c >= 0, and their sum >= 1 (the
+    // non-negative-coefficient practical choice of Section 4.2).
+    for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+      unsigned M = Layout.stmtNumIters(S);
+      if (M == 0 || HBasis[S].numRows() >= M)
+        continue;
+      IntMatrix Perp = orthogonalComplement(HBasis[S]);
+      std::vector<BigInt> Sum(Layout.numVars() + 1, BigInt(0));
+      for (unsigned R = 0; R < Perp.numRows(); ++R) {
+        std::vector<BigInt> Row(Layout.numVars() + 1, BigInt(0));
+        for (unsigned I = 0; I < M; ++I) {
+          Row[Layout.coeffCol(S, I)] = Perp(R, I);
+          Sum[Layout.coeffCol(S, I)] += Perp(R, I);
+        }
+        Sys.addIneq(std::move(Row));
+      }
+      Sum[Layout.numVars()] = BigInt(-1);
+      Sys.addIneq(std::move(Sum));
+    }
+    if (!Sys.normalize())
+      return false;
+    ilp::LexMinResult Sol =
+        ilp::lexMinNonNeg(Sys.ineqs(), Sys.eqs(), Layout.numVars());
+    if (!Sol.feasible())
+      return false;
+
+    // Append the row to every statement's transformation.
+    for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+      unsigned M = Layout.stmtNumIters(S);
+      std::vector<BigInt> Row(M + 1);
+      for (unsigned I = 0; I < M; ++I)
+        Row[I] = Sol.Point[Layout.coeffCol(S, I)];
+      Row[M] = Sol.Point[Layout.stmtC0(S)];
+      Sched.StmtRows[S].addRow(Row);
+      std::vector<BigInt> Coeffs(Row.begin(), Row.begin() + M);
+      if (HBasis[S].numRows() < M && M > 0 &&
+          isLinearlyIndependent(HBasis[S], Coeffs))
+        HBasis[S].addRow(std::move(Coeffs));
+    }
+    RowInfo Info;
+    Info.IsScalar = false;
+    Info.BandId = CurBandId;
+    Sched.Rows.push_back(Info);
+    updateSatisfaction(Sched.numRows() - 1);
+    if (debugEnabled()) {
+      fprintf(stderr, "[pluto] row %u (band %d):", Sched.numRows() - 1,
+              CurBandId);
+      for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+        fprintf(stderr, "  S%u=[", S);
+        const IntMatrix &M = Sched.StmtRows[S];
+        for (unsigned C = 0; C < M.numCols(); ++C)
+          fprintf(stderr, "%s%s", C ? " " : "",
+                  M(Sched.numRows() - 1, C).toString().c_str());
+        fprintf(stderr, "] rank=%u/%u", HBasis[S].numRows(),
+                Layout.stmtNumIters(S));
+      }
+      fprintf(stderr, "\n");
+    }
+    return true;
+  }
+
+  /// Marks legality dependences strongly satisfied at row R.
+  void updateSatisfaction(unsigned R) {
+    for (Dependence &D : DG.Deps) {
+      if (!D.isLegalityDep() || D.satisfied())
+        continue;
+      if (stronglySatisfiedAt(D, Sched, R))
+        D.SatisfiedAtRow = static_cast<int>(R);
+    }
+  }
+
+  /// No hyperplane found: either separate the SCCs with a scalar dimension,
+  /// or retire the dependences satisfied by the current band and start a
+  /// new band. Returns false if neither makes progress.
+  bool cut() {
+    unsigned NumStmts = static_cast<unsigned>(Prog.Stmts.size());
+    std::vector<unsigned> Scc = DG.sccIds(NumStmts);
+    unsigned NumScc = 0;
+    for (unsigned Id : Scc)
+      NumScc = std::max(NumScc, Id + 1);
+    if (NumScc > 1) {
+      appendScalarRow(Scc);
+      startNewBand();
+      return true;
+    }
+    // Single SCC: progress is only possible if this band satisfied
+    // something we can now retire.
+    bool Retired = false;
+    for (const Dependence &D : DG.Deps)
+      if (D.isLegalityDep() && D.satisfied() &&
+          D.SatisfiedAtRow >= static_cast<int>(BandStart))
+        Retired = true;
+    if (!Retired)
+      return false;
+    startNewBand();
+    return true;
+  }
+
+  void startNewBand() {
+    BandStart = Sched.numRows();
+    ++CurBandId;
+  }
+
+  /// Appends a scalar dimension with per-statement constants Values[stmt];
+  /// dependences that become strongly satisfied are marked.
+  void appendConstantRow(const std::vector<unsigned> &Values) {
+    for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+      unsigned M = Layout.stmtNumIters(S);
+      std::vector<BigInt> Row(M + 1, BigInt(0));
+      Row[M] = BigInt(static_cast<long long>(Values[S]));
+      Sched.StmtRows[S].addRow(std::move(Row));
+    }
+    RowInfo Info;
+    Info.IsScalar = true;
+    Info.BandId = -1;
+    Sched.Rows.push_back(Info);
+    updateSatisfaction(Sched.numRows() - 1);
+  }
+
+  void appendScalarRow(const std::vector<unsigned> &SccIds) {
+    appendConstantRow(SccIds);
+  }
+
+  /// Final fallback: order statements by original textual position to
+  /// satisfy remaining loop-independent dependences.
+  void appendTextualOrderRow() {
+    pluto::appendTextualOrderRow(Prog, Sched);
+    updateSatisfaction(Sched.numRows() - 1);
+  }
+};
+
+} // namespace
+
+void pluto::appendTextualOrderRow(const Program &Prog, Schedule &Sched) {
+  // Statements are created in textual order by the frontend, so the id is
+  // the textual rank.
+  for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+    unsigned M = Prog.Stmts[S].numIters();
+    std::vector<BigInt> Row(M + 1, BigInt(0));
+    Row[M] = BigInt(static_cast<long long>(S));
+    Sched.StmtRows[S].addRow(std::move(Row));
+  }
+  RowInfo Info;
+  Info.IsScalar = true;
+  Info.BandId = -1;
+  Sched.Rows.push_back(Info);
+}
+
+Result<Schedule> pluto::computeSchedule(const Program &Prog,
+                                        DependenceGraph &DG,
+                                        const TransformOptions &Opts) {
+  for (Dependence &D : DG.Deps)
+    D.SatisfiedAtRow = -1;
+  PlutoSearch Search(Prog, DG, Opts);
+  return Search.run();
+}
+
+bool pluto::analyzeSchedule(const Program &Prog, DependenceGraph &DG,
+                            Schedule &Sched) {
+  (void)Prog;
+  for (Dependence &D : DG.Deps)
+    D.SatisfiedAtRow = -1;
+  for (unsigned R = 0; R < Sched.numRows(); ++R) {
+    for (Dependence &D : DG.Deps) {
+      if (!D.isLegalityDep() || D.satisfied())
+        continue;
+      if (!weaklyLegalAt(D, Sched, R))
+        return false; // Violated before satisfaction: illegal schedule.
+      if (stronglySatisfiedAt(D, Sched, R))
+        D.SatisfiedAtRow = static_cast<int>(R);
+    }
+  }
+  for (const Dependence &D : DG.Deps)
+    if (D.isLegalityDep() && !D.satisfied())
+      return false;
+  detectParallelism(DG, Sched);
+  return true;
+}

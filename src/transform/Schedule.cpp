@@ -1,0 +1,113 @@
+//===- transform/Schedule.cpp - Statement-wise affine schedules -----------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Schedule.h"
+
+#include <algorithm>
+
+using namespace pluto;
+
+Schedule pluto::identitySchedule(const Program &Prog) {
+  unsigned MaxDepth = 0;
+  for (const Statement &St : Prog.Stmts)
+    MaxDepth = std::max(MaxDepth, St.numIters());
+  unsigned NumRows = 2 * MaxDepth + 1;
+
+  Schedule S;
+  for (const Statement &St : Prog.Stmts) {
+    unsigned M = St.numIters();
+    IntMatrix T(NumRows, M + 1);
+    for (unsigned K = 0; K <= MaxDepth; ++K) {
+      // Scalar row 2K: syntactic slot at depth K (0 past the statement's
+      // own depth).
+      if (2 * K < St.PosVec.size())
+        T(2 * K, M) = BigInt(static_cast<long long>(St.PosVec[2 * K]));
+      // Loop row 2K+1: iterator K when present.
+      if (K < M && 2 * K + 1 < NumRows)
+        T(2 * K + 1, K) = BigInt(1);
+    }
+    S.StmtRows.push_back(std::move(T));
+  }
+  S.Rows.resize(NumRows);
+  for (unsigned R = 0; R < NumRows; ++R) {
+    S.Rows[R].IsScalar = (R % 2 == 0);
+    S.Rows[R].BandId = -1;
+  }
+  return S;
+}
+
+std::vector<Schedule::Band> Schedule::bands() const {
+  std::vector<Band> Bands;
+  unsigned R = 0;
+  while (R < numRows()) {
+    if (Rows[R].IsScalar || Rows[R].BandId < 0) {
+      ++R;
+      continue;
+    }
+    int Id = Rows[R].BandId;
+    Band B;
+    B.Start = R;
+    while (R < numRows() && !Rows[R].IsScalar && Rows[R].BandId == Id) {
+      B.HasSequentialRow |= !Rows[R].IsParallel;
+      ++B.Width;
+      ++R;
+    }
+    Bands.push_back(B);
+  }
+  return Bands;
+}
+
+BigInt Schedule::evalRow(unsigned S, unsigned R,
+                         const std::vector<BigInt> &Iters) const {
+  const IntMatrix &M = StmtRows[S];
+  assert(Iters.size() + 1 == M.numCols() && "iteration vector size mismatch");
+  BigInt V = M(R, M.numCols() - 1);
+  for (unsigned I = 0; I < Iters.size(); ++I)
+    V += M(R, I) * Iters[I];
+  return V;
+}
+
+std::string Schedule::toString(const Program &Prog) const {
+  std::string S;
+  for (unsigned St = 0; St < StmtRows.size(); ++St) {
+    S += "S" + std::to_string(St) + ":\n";
+    const IntMatrix &M = StmtRows[St];
+    for (unsigned R = 0; R < M.numRows(); ++R) {
+      S += "  c" + std::to_string(R + 1) + " = ";
+      bool First = true;
+      for (unsigned C = 0; C + 1 < M.numCols(); ++C) {
+        const BigInt &V = M(R, C);
+        if (V.isZero())
+          continue;
+        std::string Name = Prog.Stmts[St].IterNames[C];
+        if (V.isOne())
+          S += (First ? "" : " + ") + Name;
+        else if (V.isMinusOne())
+          S += (First ? "-" : " - ") + Name;
+        else if (V.isPositive())
+          S += (First ? "" : " + ") + V.toString() + "*" + Name;
+        else
+          S += (First ? "-" : " - ") + (-V).toString() + "*" + Name;
+        First = false;
+      }
+      const BigInt &C0 = M(R, M.numCols() - 1);
+      if (First)
+        S += C0.toString();
+      else if (C0.isPositive())
+        S += " + " + C0.toString();
+      else if (C0.isNegative())
+        S += " - " + (-C0).toString();
+      if (Rows[R].IsScalar)
+        S += "   (scalar)";
+      else if (Rows[R].IsParallel)
+        S += "   (parallel, band " + std::to_string(Rows[R].BandId) + ")";
+      else
+        S += "   (band " + std::to_string(Rows[R].BandId) + ")";
+      S += "\n";
+    }
+  }
+  return S;
+}

@@ -1,0 +1,78 @@
+//===- transform/Schedule.h - Statement-wise affine schedules ---*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of the transformation framework: one affine transformation
+/// matrix per statement (paper eq. (1): each row is a hyperplane
+/// phi(i) = c . i + c0, with no parameter coefficients), plus per-row
+/// metadata - whether the row is a scalar (fusion-cut) dimension, whether
+/// the loop it becomes is parallel, and which permutable band it belongs to
+/// (bands are the units of tiling, Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_TRANSFORM_SCHEDULE_H
+#define PLUTOPP_TRANSFORM_SCHEDULE_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+/// Metadata for one row (one dimension of the transformed space).
+struct RowInfo {
+  /// Scalar dimensions are constant per statement (fusion structure /
+  /// statement ordering); they become no loop in the generated code.
+  bool IsScalar = false;
+  /// True if the corresponding loop carries no dependence (can be marked
+  /// `omp parallel for` directly when outermost, or after a sync if inner).
+  bool IsParallel = false;
+  /// Permutable-band id (consecutive rows with the same id are mutually
+  /// permutable and rectangularly tilable); -1 for scalar rows.
+  int BandId = -1;
+  /// Set by the intra-tile reordering post-pass (paper Section 5.4): the
+  /// loop is parallel, innermost, and should be emitted with a
+  /// force-vectorization pragma.
+  bool IsVector = false;
+};
+
+/// Statement-wise multi-dimensional affine transformation.
+struct Schedule {
+  /// Per statement: numRows() x (numIters(s) + 1) matrix; the last column
+  /// is the translation coefficient c0.
+  std::vector<IntMatrix> StmtRows;
+  std::vector<RowInfo> Rows;
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+
+  /// A maximal run of consecutive loop rows with the same band id.
+  struct Band {
+    unsigned Start = 0;
+    unsigned Width = 0;
+    /// True if some row of the band carries a dependence (pipelined
+    /// parallelism requires a wavefront, Algorithm 2).
+    bool HasSequentialRow = false;
+  };
+  std::vector<Band> bands() const;
+
+  /// Evaluates row R of statement S on integer iteration values.
+  BigInt evalRow(unsigned S, unsigned R,
+                 const std::vector<BigInt> &Iters) const;
+
+  std::string toString(const Program &Prog) const;
+};
+
+/// The 2d+1 identity schedule reproducing the original textual execution
+/// order (interleaved syntactic-position scalar rows and iterator rows).
+/// Used to run/emit the untransformed program through the same code
+/// generator, giving uniform baselines in tests and benchmarks.
+Schedule identitySchedule(const Program &Prog);
+
+} // namespace pluto
+
+#endif // PLUTOPP_TRANSFORM_SCHEDULE_H

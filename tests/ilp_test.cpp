@@ -1,0 +1,167 @@
+//===- tests/ilp_test.cpp - LexMin solver unit tests ----------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/LexMin.h"
+
+#include <gtest/gtest.h>
+
+using namespace pluto;
+using namespace pluto::ilp;
+
+namespace {
+
+IntMatrix rows(std::initializer_list<std::initializer_list<long long>> R,
+               unsigned Cols) {
+  IntMatrix M(Cols);
+  for (const auto &Row : R) {
+    std::vector<BigInt> V;
+    for (long long X : Row)
+      V.push_back(BigInt(X));
+    M.addRow(std::move(V));
+  }
+  return M;
+}
+
+std::vector<long long> pt(const LexMinResult &R) {
+  std::vector<long long> V;
+  for (const BigInt &B : R.Point)
+    V.push_back(B.toInt64());
+  return V;
+}
+
+TEST(LexMinTest, UnconstrainedIsZero) {
+  LexMinResult R = lexMinNonNeg(IntMatrix(3), IntMatrix(3), 2);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{0, 0}));
+}
+
+TEST(LexMinTest, SingleLowerBound) {
+  // x0 >= 5.
+  LexMinResult R = lexMinNonNeg(rows({{1, -5}}, 2), IntMatrix(2), 1);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{5}));
+}
+
+TEST(LexMinTest, SumConstraintPushesToSecondCoordinate) {
+  // x0 + x1 >= 3: lexmin is (0, 3).
+  LexMinResult R = lexMinNonNeg(rows({{1, 1, -3}}, 3), IntMatrix(3), 2);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{0, 3}));
+}
+
+TEST(LexMinTest, LexOrderPrefersEarlyCoordinates) {
+  // x0 + x1 >= 3 and x0 <= 1: lexmin (0,3) still; adding x1 <= 2 forces
+  // x0 >= 1 -> (1, 2).
+  IntMatrix I = rows({{1, 1, -3}, {-1, 0, 1}, {0, -1, 2}}, 3);
+  LexMinResult R = lexMinNonNeg(I, IntMatrix(3), 2);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{1, 2}));
+}
+
+TEST(LexMinTest, Infeasible) {
+  // x0 <= 2 and x0 >= 5.
+  IntMatrix I = rows({{-1, 2}, {1, -5}}, 2);
+  LexMinResult R = lexMinNonNeg(I, IntMatrix(2), 1);
+  EXPECT_EQ(R.Status, SolveStatus::Infeasible);
+}
+
+TEST(LexMinTest, EqualityConstraints) {
+  // x0 + x1 == 4, x0 - x1 == 2 -> (3, 1).
+  IntMatrix E = rows({{1, 1, -4}, {1, -1, -2}}, 3);
+  LexMinResult R = lexMinNonNeg(IntMatrix(3), E, 2);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{3, 1}));
+}
+
+TEST(LexMinTest, IntegralityGomoryCut) {
+  // 2*x0 >= 3 -> rational min 1.5, integer min 2.
+  LexMinResult R = lexMinNonNeg(rows({{2, -3}}, 2), IntMatrix(2), 1);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{2}));
+}
+
+TEST(LexMinTest, IntegralityAcrossCoordinates) {
+  // 2*x0 + 2*x1 == 5 has no integer solution.
+  IntMatrix E = rows({{2, 2, -5}}, 3);
+  LexMinResult R = lexMinNonNeg(IntMatrix(3), E, 2);
+  EXPECT_EQ(R.Status, SolveStatus::Infeasible);
+}
+
+TEST(LexMinTest, RationallyFeasibleIntegerInfeasible) {
+  // 1 <= 3*x0 <= 2 has the rational point 1/2 but no integer point.
+  IntMatrix I = rows({{3, -1}, {-3, 2}}, 2);
+  LexMinResult R = lexMinNonNeg(I, IntMatrix(2), 1);
+  EXPECT_EQ(R.Status, SolveStatus::Infeasible);
+}
+
+TEST(LexMinTest, MixedCutProblem) {
+  // x0 + 2*x1 >= 7, 3*x0 + x1 >= 8, integer lexmin:
+  // x0 = 0 -> x1 >= max(ceil(7/2), 8) = 8 -> (0, 8).
+  IntMatrix I = rows({{1, 2, -7}, {3, 1, -8}}, 3);
+  LexMinResult R = lexMinNonNeg(I, IntMatrix(3), 2);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{0, 8}));
+}
+
+TEST(LexMinTest, KnapsackStyle) {
+  // 5*x0 + 3*x1 == 11: integer solutions (1, 2) (x0=1,x1=2). Lexmin x0:
+  // x0=1 is the smallest feasible (x0=0 -> 3*x1=11 infeasible).
+  IntMatrix E = rows({{5, 3, -11}}, 3);
+  LexMinResult R = lexMinNonNeg(IntMatrix(3), E, 2);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{1, 2}));
+}
+
+TEST(LexMinTest, PlutoShapedSystem) {
+  // A miniature of the paper's objective (5): variables (u, w, c1, c2),
+  // legality c1 + c2 >= 1, bounding u + w - c2 >= 0, u + w - c1 >= 0.
+  // Lexmin drives u, then w, to 0 ... but w >= c_i then forces w >= 1 when
+  // u = 0; solver should find (0, 1, 0, 1): c1 = 0, c2 = 1 satisfies all.
+  IntMatrix I = rows({{0, 0, 1, 1, -1},   // c1 + c2 >= 1
+                      {1, 1, 0, -1, 0},   // u + w - c2 >= 0
+                      {1, 1, -1, 0, 0}},  // u + w - c1 >= 0
+                     5);
+  LexMinResult R = lexMinNonNeg(I, IntMatrix(5), 4);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_EQ(pt(R), (std::vector<long long>{0, 1, 0, 1}));
+}
+
+TEST(HasIntegerPointTest, FreeVariables) {
+  // x0 <= -3 (free sign): point exists.
+  IntMatrix I = rows({{-1, -3}}, 2);
+  std::vector<BigInt> W;
+  EXPECT_TRUE(hasIntegerPoint(I, IntMatrix(2), 1, &W));
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_LE(W[0].toInt64(), -3);
+}
+
+TEST(HasIntegerPointTest, EmptyStrip) {
+  // 1 <= 2*x0 <= 1 over free x0: x0 = 1/2 only -> integer empty.
+  IntMatrix I = rows({{2, -1}, {-2, 1}}, 2);
+  EXPECT_FALSE(hasIntegerPoint(I, IntMatrix(2), 1));
+}
+
+TEST(HasIntegerPointTest, DependencePolyhedronShape) {
+  // Pairs (i, i') with 0 <= i, i' <= N - 1, i' = i + 1, N >= 2 (vars:
+  // i, i', N). This is the 1-d uniform-dependence polyhedron; nonempty.
+  IntMatrix I = rows({{1, 0, 0, 0},    // i >= 0
+                      {-1, 0, 1, -1},  // i <= N-1
+                      {0, 1, 0, 0},    // i' >= 0
+                      {0, -1, 1, -1},  // i' <= N-1
+                      {0, 0, 1, -2}},  // N >= 2
+                     4);
+  IntMatrix E = rows({{-1, 1, 0, -1}}, 4); // i' - i - 1 == 0
+  std::vector<BigInt> W;
+  EXPECT_TRUE(hasIntegerPoint(I, E, 3, &W));
+  EXPECT_EQ(W[1].toInt64(), W[0].toInt64() + 1);
+}
+
+TEST(HasIntegerPointTest, ContradictoryEqualities) {
+  IntMatrix E = rows({{1, 1, -4}, {1, 1, -5}}, 3);
+  EXPECT_FALSE(hasIntegerPoint(IntMatrix(3), E, 2));
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/poly_test.cpp - ConstraintSystem unit tests ------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/ConstraintSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace pluto;
+
+namespace {
+
+/// 0 <= x0, x1 <= 9 square.
+ConstraintSystem square() {
+  ConstraintSystem CS(2);
+  CS.addLowerBound(0, 0);
+  CS.addUpperBound(0, 9);
+  CS.addLowerBound(1, 0);
+  CS.addUpperBound(1, 9);
+  return CS;
+}
+
+TEST(ConstraintSystemTest, EmptinessBasic) {
+  ConstraintSystem CS = square();
+  EXPECT_FALSE(CS.isIntegerEmpty());
+  CS.addIneq({1, 0, -100}); // x0 >= 100 contradicts x0 <= 9.
+  EXPECT_TRUE(CS.isIntegerEmpty());
+}
+
+TEST(ConstraintSystemTest, EmptinessIntegerExact) {
+  // 1 <= 2*x0 <= 1: rational point only.
+  ConstraintSystem CS(1);
+  CS.addIneq({2, -1});
+  CS.addIneq({-2, 1});
+  EXPECT_TRUE(CS.isIntegerEmpty());
+}
+
+TEST(ConstraintSystemTest, ImpliesIneq) {
+  ConstraintSystem CS = square();
+  // x0 <= 20 is implied; x0 <= 5 is not.
+  EXPECT_TRUE(CS.impliesIneq({BigInt(-1), BigInt(0), BigInt(20)}));
+  EXPECT_FALSE(CS.impliesIneq({BigInt(-1), BigInt(0), BigInt(5)}));
+}
+
+TEST(ConstraintSystemTest, FourierMotzkinProjection) {
+  // Triangle 0 <= x1 <= x0 <= 9; projecting out x1 gives 0 <= x0 <= 9.
+  ConstraintSystem CS(2);
+  CS.addIneq({0, 1, 0});   // x1 >= 0
+  CS.addIneq({1, -1, 0});  // x0 >= x1
+  CS.addIneq({-1, 0, 9});  // x0 <= 9
+  CS.projectOut(1, 1);
+  EXPECT_EQ(CS.numVars(), 1u);
+  EXPECT_FALSE(CS.isIntegerEmpty());
+  EXPECT_TRUE(CS.impliesIneq({BigInt(1), BigInt(0)}));   // x0 >= 0
+  EXPECT_TRUE(CS.impliesIneq({BigInt(-1), BigInt(9)}));  // x0 <= 9
+  EXPECT_FALSE(CS.impliesIneq({BigInt(1), BigInt(-1)})); // x0 >= 1 not implied
+}
+
+TEST(ConstraintSystemTest, EqualitySubstitutionProjection) {
+  // x1 == 2*x0 + 1, 0 <= x1 <= 9: eliminating x1 must give 2*x0+1 in [0,9],
+  // i.e. x0 in [0, 4] over the integers.
+  ConstraintSystem CS(2);
+  CS.addEq({2, -1, 1});
+  CS.addIneq({0, 1, 0});
+  CS.addIneq({0, -1, 9});
+  CS.eliminateVar(1);
+  EXPECT_EQ(CS.numVars(), 1u);
+  EXPECT_TRUE(CS.impliesIneq({BigInt(1), BigInt(0)}));
+  EXPECT_TRUE(CS.impliesIneq({BigInt(-1), BigInt(4)}));
+  EXPECT_FALSE(CS.impliesIneq({BigInt(-1), BigInt(3)}));
+}
+
+TEST(ConstraintSystemTest, NormalizeTightensByGcd) {
+  // 2*x0 >= 3 normalizes to x0 >= 2 (ceil tightening via floor of -3/2).
+  ConstraintSystem CS(1);
+  CS.addIneq({2, -3});
+  ASSERT_TRUE(CS.normalize());
+  EXPECT_TRUE(CS.impliesIneq({BigInt(1), BigInt(-2)}));
+}
+
+TEST(ConstraintSystemTest, NormalizeDetectsContradiction) {
+  ConstraintSystem CS(1);
+  CS.addIneq({0, -1}); // 0*x - 1 >= 0.
+  EXPECT_FALSE(CS.normalize());
+
+  ConstraintSystem CS2(1);
+  CS2.addEq({2, -1}); // 2*x == 1: gcd does not divide constant.
+  EXPECT_FALSE(CS2.normalize());
+}
+
+TEST(ConstraintSystemTest, NormalizeDeduplicates) {
+  ConstraintSystem CS(1);
+  CS.addIneq({1, 0});
+  CS.addIneq({1, 0});
+  CS.addIneq({2, 0});
+  ASSERT_TRUE(CS.normalize());
+  EXPECT_EQ(CS.numIneqs(), 1u);
+}
+
+TEST(ConstraintSystemTest, GistDropsImpliedConstraints) {
+  ConstraintSystem CS = square();
+  ConstraintSystem Context(2);
+  Context.addLowerBound(0, 0);
+  Context.addUpperBound(0, 9);
+  CS.gist(Context);
+  // Only the x1 bounds should remain.
+  EXPECT_EQ(CS.numIneqs(), 2u);
+}
+
+TEST(ConstraintSystemTest, RemoveRedundant) {
+  ConstraintSystem CS(1);
+  CS.addIneq({1, 0});   // x >= 0
+  CS.addIneq({1, 5});   // x >= -5 (redundant)
+  CS.addIneq({-1, 9});  // x <= 9
+  CS.removeRedundant();
+  EXPECT_EQ(CS.numIneqs(), 2u);
+}
+
+TEST(ConstraintSystemTest, InsertDims) {
+  ConstraintSystem CS(2);
+  CS.addIneq({1, -1, 3});
+  CS.insertDims(1, 2);
+  EXPECT_EQ(CS.numVars(), 4u);
+  EXPECT_EQ(CS.ineqs()(0, 0).toInt64(), 1);
+  EXPECT_EQ(CS.ineqs()(0, 1).toInt64(), 0);
+  EXPECT_EQ(CS.ineqs()(0, 2).toInt64(), 0);
+  EXPECT_EQ(CS.ineqs()(0, 3).toInt64(), -1);
+  EXPECT_EQ(CS.ineqs()(0, 4).toInt64(), 3);
+}
+
+TEST(ConstraintSystemTest, IntersectionAndAppend) {
+  ConstraintSystem A(1), B(1);
+  A.addLowerBound(0, 2);
+  B.addUpperBound(0, 5);
+  ConstraintSystem C = ConstraintSystem::intersection(A, B);
+  EXPECT_FALSE(C.isIntegerEmpty());
+  EXPECT_TRUE(C.impliesIneq({BigInt(1), BigInt(-2)}));
+  EXPECT_TRUE(C.impliesIneq({BigInt(-1), BigInt(5)}));
+}
+
+TEST(ConstraintSystemTest, ProjectionOfParametricTriangle) {
+  // { (i, j, N) : 0 <= i <= j <= N }: projecting out j leaves 0 <= i <= N.
+  ConstraintSystem CS(3);
+  CS.addIneq({1, 0, 0, 0});  // i >= 0
+  CS.addIneq({-1, 1, 0, 0}); // j >= i
+  CS.addIneq({0, -1, 1, 0}); // j <= N
+  CS.projectOut(1, 1);
+  EXPECT_TRUE(CS.impliesIneq({BigInt(-1), BigInt(1), BigInt(0)})); // i <= N
+  EXPECT_TRUE(CS.impliesIneq({BigInt(1), BigInt(0), BigInt(0)}));  // i >= 0
+}
+
+TEST(ConstraintSystemTest, ToStringSmoke) {
+  ConstraintSystem CS(2);
+  CS.addIneq({1, -2, 3});
+  CS.addEq({0, 1, -1});
+  std::string S = CS.toString({"i", "j"});
+  EXPECT_NE(S.find("i - 2j + 3 >= 0"), std::string::npos);
+  EXPECT_NE(S.find("j - 1 == 0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===- tests/runtime_test.cpp - Interpreter & JIT tests -------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "driver/Driver.h"
+#include "driver/Kernels.h"
+#include "runtime/Jit.h"
+
+#include <gtest/gtest.h>
+
+using namespace pluto;
+
+namespace {
+
+TEST(TensorTest, Indexing) {
+  Tensor T = Tensor::zeros({3, 4});
+  EXPECT_EQ(T.numElems(), 12);
+  T.at({2, 3}) = 7.5;
+  EXPECT_DOUBLE_EQ(T.Data[11], 7.5);
+  T.at({0, 1}) = -1.0;
+  EXPECT_DOUBLE_EQ(T.Data[1], -1.0);
+}
+
+TEST(TensorTest, FillPatternDeterministic) {
+  Tensor A = Tensor::zeros({100}), B = Tensor::zeros({100});
+  A.fillPattern(3);
+  B.fillPattern(3);
+  EXPECT_EQ(A.Data, B.Data);
+  B.fillPattern(4);
+  EXPECT_NE(A.Data, B.Data);
+}
+
+TEST(InterpreterTest, EvaluatesSimpleLoopAst) {
+  // for (c1 = 0; c1 <= 4; c1++) S0(c1): a[i] = i * 2.
+  auto P = parseSource("for (i = 0; i < N; i++) { a[i] = i * 2; }");
+  ASSERT_TRUE(P);
+  auto Ast = buildOriginalAst(P->Prog);
+  ASSERT_TRUE(Ast) << Ast.error();
+  Interpreter I;
+  I.allocate(P->Prog, {{"a", {5}}});
+  I.Params = {{"N", 5}};
+  auto R = I.run(P->Prog, **Ast);
+  ASSERT_TRUE(R) << R.error();
+  for (long long K = 0; K < 5; ++K)
+    EXPECT_DOUBLE_EQ(I.Arrays["a"].Data[static_cast<size_t>(K)],
+                     2.0 * static_cast<double>(K));
+}
+
+TEST(InterpreterTest, CompoundAssignAndCalls) {
+  auto P = parseSource(
+      "for (i = 0; i < N; i++) { s[0] += sqrt(a[i]) * 2.0; }");
+  ASSERT_TRUE(P);
+  auto Ast = buildOriginalAst(P->Prog);
+  ASSERT_TRUE(Ast) << Ast.error();
+  Interpreter I;
+  I.allocate(P->Prog, {{"s", {1}}, {"a", {4}}});
+  for (int K = 0; K < 4; ++K)
+    I.Arrays["a"].Data[K] = static_cast<double>(K * K);
+  I.Params = {{"N", 4}};
+  ASSERT_TRUE(I.run(P->Prog, **Ast));
+  // sum of 2*sqrt(k^2) = 2*(0+1+2+3) = 12.
+  EXPECT_DOUBLE_EQ(I.Arrays["s"].Data[0], 12.0);
+}
+
+TEST(InterpreterTest, ReportsOutOfBounds) {
+  auto P = parseSource("for (i = 0; i < N; i++) { a[i + 1] = 0.0; }");
+  ASSERT_TRUE(P);
+  auto Ast = buildOriginalAst(P->Prog);
+  Interpreter I;
+  I.allocate(P->Prog, {{"a", {4}}});
+  I.Params = {{"N", 4}}; // a[4] is out of bounds.
+  auto R = I.run(P->Prog, **Ast);
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.error().find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, ReportsUnknownSymbol) {
+  auto P = parseSource("for (i = 0; i < N; i++) { a[i] = q * 2.0; }");
+  ASSERT_TRUE(P); // q is a SymConst.
+  auto Ast = buildOriginalAst(P->Prog);
+  Interpreter I;
+  I.allocate(P->Prog, {{"a", {4}}});
+  I.Params = {{"N", 4}};
+  // SymConsts left empty: evaluation must fail cleanly.
+  auto R = I.run(P->Prog, **Ast);
+  EXPECT_FALSE(R);
+}
+
+TEST(JitTest, CompileAndRunMatMul) {
+  if (!CompiledKernel::compilerAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  PlutoOptions Opts;
+  Opts.TileSize = 8;
+  Opts.IncludeInputDeps = false;
+  auto R = optimizeSource(kernels::MatMul, Opts);
+  ASSERT_TRUE(R) << (R ? "" : R.error());
+  EmitOptions EO;
+  EO.Extents = {{"a", {"N", "N"}}, {"b", {"N", "N"}}, {"c", {"N", "N"}}};
+  auto K = CompiledKernel::compile(emitC(R->program(), *R->Ast, EO));
+  ASSERT_TRUE(K) << (K ? "" : K.error());
+
+  long long N = 20;
+  std::vector<double> A(N * N), B(N * N), C(N * N, 0.0);
+  for (long long I = 0; I < N * N; ++I) {
+    A[I] = static_cast<double>(I % 7);
+    B[I] = static_cast<double>(I % 5);
+  }
+  // Array order in Program: c (written first), a, b.
+  std::vector<double *> Arrays;
+  for (const ArrayInfo &Ai : R->program().Arrays) {
+    if (Ai.Name == "a")
+      Arrays.push_back(A.data());
+    else if (Ai.Name == "b")
+      Arrays.push_back(B.data());
+    else
+      Arrays.push_back(C.data());
+  }
+  K->call(Arrays, {N}, {});
+  // Spot-check against a direct computation.
+  for (long long I = 0; I < N; I += 7)
+    for (long long J = 0; J < N; J += 5) {
+      double Want = 0;
+      for (long long L = 0; L < N; ++L)
+        Want += A[I * N + L] * B[L * N + J];
+      EXPECT_DOUBLE_EQ(C[I * N + J], Want) << I << "," << J;
+    }
+}
+
+TEST(JitTest, CompileErrorIsReported) {
+  if (!CompiledKernel::compilerAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  auto K = CompiledKernel::compile("this is not C");
+  ASSERT_FALSE(K);
+  EXPECT_NE(K.error().find("compilation of generated code failed"),
+            std::string::npos);
+}
+
+TEST(JitTest, JitMatchesInterpreterOnJacobi) {
+  if (!CompiledKernel::compilerAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  PlutoOptions Opts;
+  Opts.TileSize = 8;
+  Opts.IncludeInputDeps = false;
+  auto R = optimizeSource(kernels::Jacobi1D, Opts);
+  ASSERT_TRUE(R) << (R ? "" : R.error());
+  EmitOptions EO;
+  EO.Extents = {{"a", {"N"}}, {"b", {"N"}}};
+  auto K = CompiledKernel::compile(emitC(R->program(), *R->Ast, EO));
+  ASSERT_TRUE(K) << (K ? "" : K.error());
+
+  long long N = 50, T = 9;
+  // Interpreter run.
+  Interpreter I;
+  I.allocate(R->program(), {{"a", {N}}, {"b", {N}}});
+  unsigned Seed = 1;
+  for (auto &[Name, Tn] : I.Arrays)
+    Tn.fillPattern(Seed++);
+  std::map<std::string, std::vector<double>> Init;
+  for (auto &[Name, Tn] : I.Arrays)
+    Init[Name] = Tn.Data;
+  I.Params = {{"T", T}, {"N", N}};
+  ASSERT_TRUE(I.run(R->program(), *R->Ast));
+
+  // JIT run on identical inputs.
+  std::vector<std::vector<double>> Bufs;
+  std::vector<double *> Arrays;
+  for (const ArrayInfo &Ai : R->program().Arrays) {
+    Bufs.push_back(Init[Ai.Name]);
+  }
+  for (auto &B : Bufs)
+    Arrays.push_back(B.data());
+  K->call(Arrays, {T, N}, {});
+
+  unsigned Idx = 0;
+  for (const ArrayInfo &Ai : R->program().Arrays) {
+    const std::vector<double> &Want = I.Arrays[Ai.Name].Data;
+    const std::vector<double> &Got = Bufs[Idx++];
+    ASSERT_EQ(Want.size(), Got.size());
+    for (size_t E = 0; E < Want.size(); ++E)
+      EXPECT_NEAR(Want[E], Got[E], 1e-9) << Ai.Name << "[" << E << "]";
+  }
+}
+
+} // namespace

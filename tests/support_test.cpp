@@ -1,0 +1,236 @@
+//===- tests/support_test.cpp - BigInt/Rational/Matrix unit tests ---------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/LinearAlgebra.h"
+#include "support/Matrix.h"
+#include "support/Rational.h"
+#include "support/Result.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+using namespace pluto;
+
+namespace {
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).toString(), "0");
+  EXPECT_EQ(BigInt(42).toString(), "42");
+  EXPECT_EQ(BigInt(-42).toString(), "-42");
+  EXPECT_EQ(BigInt(1234567890123456789LL).toString(), "1234567890123456789");
+  EXPECT_EQ(BigInt(INT64_MIN).toString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).toString(), "9223372036854775807");
+}
+
+TEST(BigIntTest, FromString) {
+  EXPECT_EQ(BigInt::fromString("0"), BigInt(0));
+  EXPECT_EQ(BigInt::fromString("-987654321"), BigInt(-987654321));
+  BigInt Big = BigInt::fromString("123456789012345678901234567890");
+  EXPECT_EQ(Big.toString(), "123456789012345678901234567890");
+  EXPECT_FALSE(Big.fitsInt64());
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (long long V : {0LL, 1LL, -1LL, 1LL << 40, -(1LL << 40),
+                      static_cast<long long>(INT64_MAX),
+                      static_cast<long long>(INT64_MIN)}) {
+    BigInt B(V);
+    ASSERT_TRUE(B.fitsInt64());
+    EXPECT_EQ(B.toInt64(), V);
+  }
+}
+
+TEST(BigIntTest, ArithmeticMatchesInt64) {
+  std::mt19937_64 Rng(7);
+  std::uniform_int_distribution<long long> Dist(-1000000, 1000000);
+  for (int I = 0; I < 2000; ++I) {
+    long long A = Dist(Rng), B = Dist(Rng);
+    EXPECT_EQ((BigInt(A) + BigInt(B)).toInt64(), A + B);
+    EXPECT_EQ((BigInt(A) - BigInt(B)).toInt64(), A - B);
+    EXPECT_EQ((BigInt(A) * BigInt(B)).toInt64(), A * B);
+    if (B != 0) {
+      EXPECT_EQ((BigInt(A) / BigInt(B)).toInt64(), A / B);
+      EXPECT_EQ((BigInt(A) % BigInt(B)).toInt64(), A % B);
+    }
+  }
+}
+
+TEST(BigIntTest, LargeMultiplyDivideRoundTrip) {
+  BigInt A = BigInt::fromString("340282366920938463463374607431768211456");
+  BigInt B = BigInt::fromString("18446744073709551629");
+  BigInt P = A * B;
+  EXPECT_EQ(P / B, A);
+  EXPECT_EQ(P / A, B);
+  EXPECT_TRUE((P % A).isZero());
+  EXPECT_EQ(P.divExact(B), A);
+}
+
+TEST(BigIntTest, FloorCeilDivision) {
+  EXPECT_EQ(BigInt(7).floorDiv(BigInt(2)).toInt64(), 3);
+  EXPECT_EQ(BigInt(-7).floorDiv(BigInt(2)).toInt64(), -4);
+  EXPECT_EQ(BigInt(7).floorDiv(BigInt(-2)).toInt64(), -4);
+  EXPECT_EQ(BigInt(-7).floorDiv(BigInt(-2)).toInt64(), 3);
+  EXPECT_EQ(BigInt(7).ceilDiv(BigInt(2)).toInt64(), 4);
+  EXPECT_EQ(BigInt(-7).ceilDiv(BigInt(2)).toInt64(), -3);
+  EXPECT_EQ(BigInt(7).floorMod(BigInt(3)).toInt64(), 1);
+  EXPECT_EQ(BigInt(-7).floorMod(BigInt(3)).toInt64(), 2);
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).toInt64(), 5);
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)).toInt64(), 12);
+  EXPECT_EQ(BigInt::lcm(BigInt(0), BigInt(6)).toInt64(), 0);
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  BigInt Big = BigInt::fromString("99999999999999999999");
+  EXPECT_GT(Big, BigInt(INT64_MAX));
+  EXPECT_LT(-Big, BigInt(INT64_MIN));
+}
+
+TEST(RationalTest, Normalization) {
+  Rational R(BigInt(4), BigInt(-6));
+  EXPECT_EQ(R.num().toInt64(), -2);
+  EXPECT_EQ(R.den().toInt64(), 3);
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)).den().toInt64(), 1);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(BigInt(1), BigInt(2));
+  Rational Third(BigInt(1), BigInt(3));
+  EXPECT_EQ((Half + Third).toString(), "5/6");
+  EXPECT_EQ((Half - Third).toString(), "1/6");
+  EXPECT_EQ((Half * Third).toString(), "1/6");
+  EXPECT_EQ((Half / Third).toString(), "3/2");
+  EXPECT_TRUE((Half - Half).isZero());
+}
+
+TEST(RationalTest, FloorCeilFract) {
+  Rational R(BigInt(-7), BigInt(2));
+  EXPECT_EQ(R.floor().toInt64(), -4);
+  EXPECT_EQ(R.ceil().toInt64(), -3);
+  EXPECT_EQ(R.fract().toString(), "1/2");
+  EXPECT_TRUE(Rational(5).isInteger());
+  EXPECT_FALSE(R.isInteger());
+}
+
+TEST(MatrixTest, Basics) {
+  IntMatrix M = {{1, 2}, {3, 4}};
+  EXPECT_EQ(M.numRows(), 2u);
+  EXPECT_EQ(M.numCols(), 2u);
+  EXPECT_EQ(M(1, 0).toInt64(), 3);
+  IntMatrix T = M.transpose();
+  EXPECT_EQ(T(0, 1).toInt64(), 3);
+  IntMatrix P = M * IntMatrix::identity(2);
+  EXPECT_EQ(P, M);
+}
+
+TEST(MatrixTest, Product) {
+  IntMatrix A = {{1, 2}, {3, 4}};
+  IntMatrix B = {{5, 6}, {7, 8}};
+  IntMatrix P = A * B;
+  IntMatrix Want = {{19, 22}, {43, 50}};
+  EXPECT_EQ(P, Want);
+}
+
+TEST(MatrixTest, InsertColumnsAndRows) {
+  IntMatrix M = {{1, 2}, {3, 4}};
+  M.insertZeroColumns(1, 2);
+  EXPECT_EQ(M.numCols(), 4u);
+  EXPECT_EQ(M(0, 0).toInt64(), 1);
+  EXPECT_EQ(M(0, 1).toInt64(), 0);
+  EXPECT_EQ(M(0, 3).toInt64(), 2);
+  M.insertRow(1, {BigInt(9), BigInt(9), BigInt(9), BigInt(9)});
+  EXPECT_EQ(M.numRows(), 3u);
+  EXPECT_EQ(M(1, 0).toInt64(), 9);
+  M.removeRow(1);
+  EXPECT_EQ(M(1, 0).toInt64(), 3);
+}
+
+TEST(LinearAlgebraTest, Rank) {
+  EXPECT_EQ(rank(IntMatrix({{1, 0}, {0, 1}})), 2u);
+  EXPECT_EQ(rank(IntMatrix({{1, 2}, {2, 4}})), 1u);
+  EXPECT_EQ(rank(IntMatrix({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})), 2u);
+  EXPECT_EQ(rank(IntMatrix(0, 3)), 0u);
+}
+
+TEST(LinearAlgebraTest, Inverse) {
+  RatMatrix M = toRational(IntMatrix({{2, 1}, {1, 1}}));
+  auto Inv = inverse(M);
+  ASSERT_TRUE(Inv.has_value());
+  RatMatrix P = M * *Inv;
+  EXPECT_EQ(P, RatMatrix::identity(2));
+  EXPECT_FALSE(inverse(toRational(IntMatrix({{1, 2}, {2, 4}}))).has_value());
+}
+
+TEST(LinearAlgebraTest, OrthogonalComplementOfEmptyIsIdentity) {
+  IntMatrix H(0, 3);
+  EXPECT_EQ(orthogonalComplement(H), IntMatrix::identity(3));
+}
+
+TEST(LinearAlgebraTest, OrthogonalComplementProperties) {
+  // H = span{(1,0,0)}; complement must have rank 2, rows orthogonal to H.
+  IntMatrix H = {{1, 0, 0}};
+  IntMatrix Perp = orthogonalComplement(H);
+  EXPECT_EQ(Perp.numRows(), 2u);
+  for (unsigned R = 0; R < Perp.numRows(); ++R) {
+    BigInt Dot(0);
+    for (unsigned C = 0; C < 3; ++C)
+      Dot += Perp(R, C) * H(0, C);
+    EXPECT_TRUE(Dot.isZero());
+  }
+}
+
+TEST(LinearAlgebraTest, OrthogonalComplementSkewedRow) {
+  // The classic time-skewing case: H = {(1,1)}. Complement is rank 1 and
+  // orthogonal to (1,1): proportional to (1,-1).
+  IntMatrix H = {{1, 1}};
+  IntMatrix Perp = orthogonalComplement(H);
+  ASSERT_EQ(Perp.numRows(), 1u);
+  EXPECT_TRUE((Perp(0, 0) + Perp(0, 1)).isZero());
+  EXPECT_FALSE(Perp(0, 0).isZero());
+}
+
+TEST(LinearAlgebraTest, FullRowSpaceHasEmptyComplement) {
+  IntMatrix H = {{1, 0}, {1, 1}};
+  EXPECT_EQ(orthogonalComplement(H).numRows(), 0u);
+}
+
+TEST(LinearAlgebraTest, IsLinearlyIndependent) {
+  IntMatrix M = {{1, 0, 0}, {0, 1, 0}};
+  EXPECT_TRUE(isLinearlyIndependent(M, {BigInt(0), BigInt(0), BigInt(1)}));
+  EXPECT_FALSE(isLinearlyIndependent(M, {BigInt(2), BigInt(-3), BigInt(0)}));
+}
+
+TEST(LinearAlgebraTest, NormalizeByGcd) {
+  std::vector<BigInt> Row = {BigInt(4), BigInt(-6), BigInt(8)};
+  normalizeByGcd(Row);
+  EXPECT_EQ(Row[0].toInt64(), 2);
+  EXPECT_EQ(Row[1].toInt64(), -3);
+  EXPECT_EQ(Row[2].toInt64(), 4);
+  std::vector<BigInt> Zero = {BigInt(0), BigInt(0)};
+  normalizeByGcd(Zero); // Must not crash or change values.
+  EXPECT_TRUE(Zero[0].isZero());
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> Ok(42);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(*Ok, 42);
+  Result<int> Bad = Err("boom");
+  ASSERT_FALSE(Bad);
+  EXPECT_EQ(Bad.error(), "boom");
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+//===- tests/transform_test.cpp - Pluto algorithm unit tests --------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// Validates the transformation framework against the transformations the
+// paper publishes: Jacobi-1d time skewing by 2 with a relative shift of S2
+// (Fig. 3), the LU band (Sec. 5.2), MVT ij/ji fusion via input-dependence
+// bounding (Sec. 7), and structural properties (bands, parallelism,
+// legality) on the other kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PlutoTransform.h"
+
+#include "driver/Kernels.h"
+#include "parser/Parser.h"
+#include "transform/FarkasConstraints.h"
+
+#include <gtest/gtest.h>
+
+using namespace pluto;
+
+namespace {
+
+struct Pipeline {
+  Program Prog;
+  DependenceGraph DG;
+  Schedule Sched;
+};
+
+Pipeline run(const char *Src, bool InputDeps = true) {
+  Pipeline P;
+  auto Parsed = parseSource(Src);
+  EXPECT_TRUE(Parsed) << (Parsed ? "" : Parsed.error());
+  P.Prog = Parsed->Prog;
+  for (const std::string &Param : P.Prog.ParamNames)
+    P.Prog.addContextBound(Param, 4);
+  DepOptions DO;
+  DO.IncludeInputDeps = InputDeps;
+  P.DG = computeDependences(P.Prog, DO);
+  auto Sched = computeSchedule(P.Prog, P.DG);
+  EXPECT_TRUE(Sched) << (Sched ? "" : Sched.error());
+  P.Sched = *Sched;
+  return P;
+}
+
+std::vector<long long> rowOf(const Schedule &S, unsigned Stmt, unsigned R) {
+  std::vector<long long> V;
+  const IntMatrix &M = S.StmtRows[Stmt];
+  for (unsigned C = 0; C < M.numCols(); ++C)
+    V.push_back(M(R, C).toInt64());
+  return V;
+}
+
+/// Full legality oracle: every legality dep strongly satisfied at some row,
+/// weakly legal at all earlier rows.
+bool isLegal(Pipeline &P) {
+  DependenceGraph Copy = P.DG;
+  Schedule Sched = P.Sched;
+  return analyzeSchedule(P.Prog, Copy, Sched);
+}
+
+TEST(TransformTest, MatMulPermutableBand) {
+  // Input deps off (the original Pluto's default): with them on, every
+  // hyperplane of matmul has a parametric reuse distance (u = 1), so the
+  // cost function cannot discriminate and tie-breaking decides everything.
+  Pipeline P = run(kernels::MatMul, /*InputDeps=*/false);
+  ASSERT_EQ(P.Sched.numRows(), 3u);
+  // The identity transformation: i and j are communication-free, k carries
+  // the reduction; the innermost-first tie-break keeps the original order.
+  EXPECT_EQ(rowOf(P.Sched, 0, 0), (std::vector<long long>{1, 0, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 1), (std::vector<long long>{0, 1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 2), (std::vector<long long>{0, 0, 1, 0}));
+  // One fully permutable band of width 3.
+  auto Bands = P.Sched.bands();
+  ASSERT_EQ(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Start, 0u);
+  EXPECT_EQ(Bands[0].Width, 3u);
+  // i and j are parallel; k carries the reduction dependence.
+  EXPECT_TRUE(P.Sched.Rows[0].IsParallel);
+  EXPECT_TRUE(P.Sched.Rows[1].IsParallel);
+  EXPECT_FALSE(P.Sched.Rows[2].IsParallel);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, Sweep2DPermutableBand) {
+  Pipeline P = run(kernels::Sweep2D, /*InputDeps=*/false);
+  ASSERT_EQ(P.Sched.numRows(), 2u);
+  // Both orders are cost-equivalent (constant dependence distances); the
+  // innermost-first tie-break keeps the original (i, j) order.
+  EXPECT_EQ(rowOf(P.Sched, 0, 0), (std::vector<long long>{1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 1), (std::vector<long long>{0, 1, 0}));
+  auto Bands = P.Sched.bands();
+  ASSERT_EQ(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Width, 2u);
+  // Both loops carry a dependence: pipelined parallelism only.
+  EXPECT_FALSE(P.Sched.Rows[0].IsParallel);
+  EXPECT_FALSE(P.Sched.Rows[1].IsParallel);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, Jacobi1DPaperTransformation) {
+  // Paper Fig. 3: c1 = t for both statements; c2 = 2t+i for S1 and
+  // 2t+j+1 for S2 (skew by two, relative shift of one).
+  Pipeline P = run(kernels::Jacobi1D, /*InputDeps=*/false);
+  ASSERT_GE(P.Sched.numRows(), 2u);
+  EXPECT_EQ(rowOf(P.Sched, 0, 0), (std::vector<long long>{1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 0), (std::vector<long long>{1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 1), (std::vector<long long>{2, 1, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 1), (std::vector<long long>{2, 1, 1}));
+  // Rows 0 and 1 form one permutable band (tilable: Fig. 3(c)).
+  auto Bands = P.Sched.bands();
+  ASSERT_GE(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Start, 0u);
+  EXPECT_EQ(Bands[0].Width, 2u);
+  EXPECT_FALSE(P.Sched.Rows[0].IsParallel);
+  EXPECT_FALSE(P.Sched.Rows[1].IsParallel);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, JacobiWithInputDepsStillLegal) {
+  Pipeline P = run(kernels::Jacobi1D, /*InputDeps=*/true);
+  EXPECT_TRUE(isLegal(P));
+  auto Bands = P.Sched.bands();
+  ASSERT_GE(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Width, 2u);
+}
+
+TEST(TransformTest, LUBandOfThree) {
+  Pipeline P = run(kernels::LU, /*InputDeps=*/false);
+  // Three rows in a single permutable band; S1 (2-d) is naturally sunk into
+  // the 3-d fully permutable space (paper Sec. 5.2 / Sec. 7).
+  ASSERT_GE(P.Sched.numRows(), 3u);
+  auto Bands = P.Sched.bands();
+  ASSERT_GE(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Start, 0u);
+  EXPECT_EQ(Bands[0].Width, 3u);
+  // The paper's exact transformation (Sec. 5.2): S1 gets (k, j, k) - the
+  // 2-d statement naturally sunk into the 3-d band - and S2 gets (k, j, i).
+  EXPECT_EQ(rowOf(P.Sched, 0, 0), (std::vector<long long>{1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 1), (std::vector<long long>{0, 1, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 2), (std::vector<long long>{1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 0), (std::vector<long long>{1, 0, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 1), (std::vector<long long>{0, 0, 1, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 2), (std::vector<long long>{0, 1, 0, 0}));
+  // k carries dependences; j is communication-free inside a k iteration.
+  EXPECT_FALSE(P.Sched.Rows[0].IsParallel);
+  EXPECT_TRUE(P.Sched.Rows[1].IsParallel);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, MVTFusesIJwithJI) {
+  Pipeline P = run(kernels::MVT, /*InputDeps=*/true);
+  ASSERT_GE(P.Sched.numRows(), 2u);
+  // Paper Sec. 7 (MVT): fusion of the first MV with the *permuted* second
+  // MV so the RAR distance on A becomes 0 for both c1 and c2: S0 keeps
+  // (i, j), S1 becomes (j, i). Both statements then read A row-major
+  // (stride 1) at every fused point.
+  EXPECT_EQ(rowOf(P.Sched, 0, 0), (std::vector<long long>{1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 0), (std::vector<long long>{0, 1, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 1), (std::vector<long long>{0, 1, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 1, 1), (std::vector<long long>{1, 0, 0}));
+  // The RAR on A has zero components along both hyperplanes.
+  bool CheckedRAR = false;
+  for (const Dependence &D : P.DG.Deps) {
+    if (D.Kind != DepKind::Input || D.SrcStmt == D.DstStmt)
+      continue;
+    EXPECT_TRUE(zeroAt(D, P.Sched, 0));
+    EXPECT_TRUE(zeroAt(D, P.Sched, 1));
+    CheckedRAR = true;
+  }
+  EXPECT_TRUE(CheckedRAR);
+  // Fusion trades synchronization-free parallelism for one degree of
+  // pipelined parallelism: no row is fully parallel.
+  EXPECT_FALSE(P.Sched.Rows[0].IsParallel);
+  EXPECT_FALSE(P.Sched.Rows[1].IsParallel);
+  auto Bands = P.Sched.bands();
+  ASSERT_GE(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Width, 2u);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, MVTWithoutInputDepsDoesNotFuse) {
+  // Without RAR bounding there is no incentive to permute S1: both
+  // statements get synchronization-free outer parallelism instead.
+  Pipeline P = run(kernels::MVT, /*InputDeps=*/false);
+  bool AnyParallel = false;
+  for (const RowInfo &R : P.Sched.Rows)
+    AnyParallel |= R.IsParallel;
+  EXPECT_TRUE(AnyParallel);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, Seidel2DSkewedBand) {
+  Pipeline P = run(kernels::Seidel2D, /*InputDeps=*/false);
+  ASSERT_GE(P.Sched.numRows(), 3u);
+  auto Bands = P.Sched.bands();
+  ASSERT_GE(Bands.size(), 1u);
+  // All three dimensions tilable after skewing (paper Sec. 7, Gauss-Seidel).
+  EXPECT_EQ(Bands[0].Width, 3u);
+  // The paper's transformation: "skews the two space dimensions by a
+  // factor of one and two, respectively, w.r.t. time":
+  // (t, t+i, 2t+i+j).
+  EXPECT_EQ(rowOf(P.Sched, 0, 0), (std::vector<long long>{1, 0, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 1), (std::vector<long long>{1, 1, 0, 0}));
+  EXPECT_EQ(rowOf(P.Sched, 0, 2), (std::vector<long long>{2, 1, 1, 0}));
+  EXPECT_FALSE(P.Sched.Rows[0].IsParallel);
+  EXPECT_FALSE(P.Sched.Rows[1].IsParallel);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, FdtdSingleBandOfThree) {
+  Pipeline P = run(kernels::Fdtd2D, /*InputDeps=*/false);
+  // Paper Sec. 7: three tiling hyperplanes, all in one band (fully
+  // permutable); shifting + fusion + time skewing.
+  auto Bands = P.Sched.bands();
+  ASSERT_GE(Bands.size(), 1u);
+  EXPECT_EQ(Bands[0].Start, 0u);
+  EXPECT_EQ(Bands[0].Width, 3u);
+  EXPECT_TRUE(isLegal(P));
+  // All statements fused: no scalar dimension separates them before the
+  // band (row 0..2 are loop rows).
+  EXPECT_FALSE(P.Sched.Rows[0].IsScalar);
+  EXPECT_FALSE(P.Sched.Rows[1].IsScalar);
+  EXPECT_FALSE(P.Sched.Rows[2].IsScalar);
+}
+
+TEST(TransformTest, SequencePairGetsDistributedOrFused) {
+  // Producer-consumer with reversed access: fusion possible with shift 0;
+  // check legality either way.
+  Pipeline P = run("for (i = 0; i < N; i++) { c[i] = a[i]; }\n"
+                   "for (j = 0; j < N; j++) { d[j] = c[j] * 2.0; }");
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, IndependentLoopsCutIntoSccs) {
+  Pipeline P = run("for (i = 0; i < N; i++) { a[i] = 1.0; }\n"
+                   "for (i = 0; i < N; i++) { a[i] = a[i] + 2.0; }\n",
+                   /*InputDeps=*/false);
+  EXPECT_TRUE(isLegal(P));
+}
+
+TEST(TransformTest, ForcedScheduleAnalysisDetectsIllegal) {
+  auto Parsed = parseSource(kernels::Sweep2D);
+  ASSERT_TRUE(Parsed);
+  Program Prog = Parsed->Prog;
+  Prog.addContextBound("N", 4);
+  DepOptions DO;
+  DO.IncludeInputDeps = false;
+  DependenceGraph DG = computeDependences(Prog, DO);
+  // Loop reversal (-1, 0), (0, -1) is illegal for the forward sweep.
+  Schedule Bad;
+  Bad.StmtRows.push_back(IntMatrix({{-1, 0, 0}, {0, -1, 0}}));
+  Bad.Rows.resize(2);
+  EXPECT_FALSE(analyzeSchedule(Prog, DG, Bad));
+  // Identity is legal.
+  Schedule Good;
+  Good.StmtRows.push_back(IntMatrix({{1, 0, 0}, {0, 1, 0}}));
+  Good.Rows.resize(2);
+  EXPECT_TRUE(analyzeSchedule(Prog, DG, Good));
+}
+
+TEST(TransformTest, ForcedLimLamStyleScheduleIsLegalForJacobi) {
+  // The paper's comparison: Lim/Lam's maximally independent time partitions
+  // (2, -1) / (3, -1) for imperfect Jacobi (Sec. 7). Verify our analysis
+  // accepts it as legal (it is) - it is the cost that differs.
+  auto Parsed = parseSource(kernels::Jacobi1D);
+  ASSERT_TRUE(Parsed);
+  Program Prog = Parsed->Prog;
+  Prog.addContextBound("N", 8);
+  Prog.addContextBound("T", 8);
+  DepOptions DO;
+  DO.IncludeInputDeps = false;
+  DependenceGraph DG = computeDependences(Prog, DO);
+  Schedule LimLam;
+  // S1: 2t - i ... the published partitions are phi = (2t+i), (2t+i+1)?
+  // Use the time partitions from Sec. 7: S1: 2t - i?? The known legal pair
+  // for this code is phi_S1 = 2t + i, phi_S2 = 2t + j + 1 (also our c2) and
+  // an independent second partition 3t + i / 3t + j + 1:
+  LimLam.StmtRows.push_back(IntMatrix({{2, 1, 0}, {3, 1, 0}}));
+  LimLam.StmtRows.push_back(IntMatrix({{2, 1, 1}, {3, 1, 1}}));
+  LimLam.Rows.resize(2);
+  // The two partitions leave the same-point anti dependence (S0 reads
+  // a[i-1], S1 overwrites it at the same schedule point) unordered; the
+  // statement-ordering dimension completes the schedule.
+  appendTextualOrderRow(Prog, LimLam);
+  EXPECT_TRUE(analyzeSchedule(Prog, DG, LimLam));
+}
+
+TEST(TransformTest, DeltaRowMatchesEval) {
+  Pipeline P = run(kernels::Sweep2D, /*InputDeps=*/false);
+  // deltaRow on a concrete dependence must agree with direct evaluation.
+  const Dependence &D = P.DG.Deps.front();
+  std::vector<BigInt> Row = deltaRow(D, P.Sched, 0);
+  // Pick s = (2,3), t = (3,3) (the level-1 flow): delta = phi(t) - phi(s).
+  std::vector<BigInt> Point = {BigInt(2), BigInt(3), BigInt(3), BigInt(3),
+                               BigInt(10)};
+  BigInt Acc = Row[Row.size() - 1];
+  for (unsigned I = 0; I < Point.size(); ++I)
+    Acc += Row[I] * Point[I];
+  BigInt Direct =
+      P.Sched.evalRow(D.DstStmt, 0, {BigInt(3), BigInt(3)}) -
+      P.Sched.evalRow(D.SrcStmt, 0, {BigInt(2), BigInt(3)});
+  EXPECT_EQ(Acc, Direct);
+}
+
+} // namespace
