@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fdtd2d.dir/bench_fdtd2d.cpp.o"
+  "CMakeFiles/bench_fdtd2d.dir/bench_fdtd2d.cpp.o.d"
+  "bench_fdtd2d"
+  "bench_fdtd2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fdtd2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jacobi1d.dir/bench_jacobi1d.cpp.o"
+  "CMakeFiles/bench_jacobi1d.dir/bench_jacobi1d.cpp.o.d"
+  "bench_jacobi1d"
+  "bench_jacobi1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jacobi1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvt.dir/bench_mvt.cpp.o"
+  "CMakeFiles/bench_mvt.dir/bench_mvt.cpp.o.d"
+  "bench_mvt"
+  "bench_mvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

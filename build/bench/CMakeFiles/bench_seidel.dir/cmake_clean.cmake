@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seidel.dir/bench_seidel.cpp.o"
+  "CMakeFiles/bench_seidel.dir/bench_seidel.cpp.o.d"
+  "bench_seidel"
+  "bench_seidel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seidel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_transforms.dir/explore_transforms.cpp.o"
+  "CMakeFiles/explore_transforms.dir/explore_transforms.cpp.o.d"
+  "explore_transforms"
+  "explore_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plutocc.dir/plutocc.cpp.o"
+  "CMakeFiles/plutocc.dir/plutocc.cpp.o.d"
+  "plutocc"
+  "plutocc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plutocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/Ast.cpp" "src/CMakeFiles/plutopp.dir/codegen/Ast.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/codegen/Ast.cpp.o.d"
+  "/root/repo/src/codegen/CEmitter.cpp" "src/CMakeFiles/plutopp.dir/codegen/CEmitter.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/codegen/CEmitter.cpp.o.d"
+  "/root/repo/src/codegen/CodeGen.cpp" "src/CMakeFiles/plutopp.dir/codegen/CodeGen.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/codegen/CodeGen.cpp.o.d"
+  "/root/repo/src/deps/Dependences.cpp" "src/CMakeFiles/plutopp.dir/deps/Dependences.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/deps/Dependences.cpp.o.d"
+  "/root/repo/src/driver/Driver.cpp" "src/CMakeFiles/plutopp.dir/driver/Driver.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/driver/Driver.cpp.o.d"
+  "/root/repo/src/ilp/LexMin.cpp" "src/CMakeFiles/plutopp.dir/ilp/LexMin.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/ilp/LexMin.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/CMakeFiles/plutopp.dir/ir/Expr.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/ir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/plutopp.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/parser/Lexer.cpp" "src/CMakeFiles/plutopp.dir/parser/Lexer.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/parser/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/plutopp.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/poly/ConstraintSystem.cpp" "src/CMakeFiles/plutopp.dir/poly/ConstraintSystem.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/poly/ConstraintSystem.cpp.o.d"
+  "/root/repo/src/runtime/Interpreter.cpp" "src/CMakeFiles/plutopp.dir/runtime/Interpreter.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/runtime/Interpreter.cpp.o.d"
+  "/root/repo/src/runtime/Jit.cpp" "src/CMakeFiles/plutopp.dir/runtime/Jit.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/runtime/Jit.cpp.o.d"
+  "/root/repo/src/support/BigInt.cpp" "src/CMakeFiles/plutopp.dir/support/BigInt.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/support/BigInt.cpp.o.d"
+  "/root/repo/src/support/LinearAlgebra.cpp" "src/CMakeFiles/plutopp.dir/support/LinearAlgebra.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/support/LinearAlgebra.cpp.o.d"
+  "/root/repo/src/tile/Scop.cpp" "src/CMakeFiles/plutopp.dir/tile/Scop.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/tile/Scop.cpp.o.d"
+  "/root/repo/src/tile/Tiling.cpp" "src/CMakeFiles/plutopp.dir/tile/Tiling.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/tile/Tiling.cpp.o.d"
+  "/root/repo/src/transform/FarkasConstraints.cpp" "src/CMakeFiles/plutopp.dir/transform/FarkasConstraints.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/transform/FarkasConstraints.cpp.o.d"
+  "/root/repo/src/transform/PlutoTransform.cpp" "src/CMakeFiles/plutopp.dir/transform/PlutoTransform.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/transform/PlutoTransform.cpp.o.d"
+  "/root/repo/src/transform/Schedule.cpp" "src/CMakeFiles/plutopp.dir/transform/Schedule.cpp.o" "gcc" "src/CMakeFiles/plutopp.dir/transform/Schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

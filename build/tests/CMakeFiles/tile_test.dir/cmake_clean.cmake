@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_test.dir/tile_test.cpp.o"
+  "CMakeFiles/tile_test.dir/tile_test.cpp.o.d"
+  "tile_test"
+  "tile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

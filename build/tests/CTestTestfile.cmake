@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ilp_test "/root/repo/build/tests/ilp_test")
+set_tests_properties(ilp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(poly_test "/root/repo/build/tests/poly_test")
+set_tests_properties(poly_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parser_test "/root/repo/build/tests/parser_test")
+set_tests_properties(parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(deps_test "/root/repo/build/tests/deps_test")
+set_tests_properties(deps_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(transform_test "/root/repo/build/tests/transform_test")
+set_tests_properties(transform_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(codegen_test "/root/repo/build/tests/codegen_test")
+set_tests_properties(codegen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tile_test "/root/repo/build/tests/tile_test")
+set_tests_properties(tile_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runtime_test "/root/repo/build/tests/runtime_test")
+set_tests_properties(runtime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fuzz_test "/root/repo/build/tests/fuzz_test")
+set_tests_properties(fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(oracle_test "/root/repo/build/tests/oracle_test")
+set_tests_properties(oracle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(suite_test "/root/repo/build/tests/suite_test")
+set_tests_properties(suite_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;plutopp_add_test;/root/repo/tests/CMakeLists.txt;0;")
