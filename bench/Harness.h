@@ -161,16 +161,19 @@ inline bool verify(const PlutoResult &R, const CompiledKernel &Orig,
   return true;
 }
 
-/// Times one call (best of Reps).
+/// Times one call (best of Reps). Buffers are reinitialized to the identical
+/// pseudo-random contents before every rep (outside the timed region) so
+/// each rep runs the kernel on the same input: timing the previous rep's
+/// output would measure an already-converged/steady state instead.
 inline double timeKernel(const PlutoResult &R, const CompiledKernel &K,
                          const Problem &P, int Threads, int Reps = 3) {
   std::vector<std::vector<double>> Storage;
-  std::vector<double *> A = allocBuffers(R.program(), P, Storage);
   std::vector<long long> PV = paramVector(R.program(), P);
   std::vector<double> CV = constVector(R.Parsed.SymConsts, P);
   omp_set_num_threads(Threads);
   double Best = 1e30;
   for (int I = 0; I < Reps; ++I) {
+    std::vector<double *> A = allocBuffers(R.program(), P, Storage);
     auto T0 = std::chrono::steady_clock::now();
     K.call(A, PV, CV);
     auto T1 = std::chrono::steady_clock::now();

@@ -58,6 +58,19 @@ void BM_Dependences(benchmark::State &State, const char *Src) {
   }
 }
 
+/// Dependence analysis pinned to a thread count (serial vs. parallel
+/// worklist; results are bit-identical, only wall time differs).
+void BM_DependencesThreads(benchmark::State &State, const char *Src,
+                           int Threads) {
+  Program Prog = parsedProgram(Src);
+  DepOptions Opts;
+  Opts.NumThreads = Threads;
+  for (auto _ : State) {
+    DependenceGraph G = computeDependences(Prog, Opts);
+    benchmark::DoNotOptimize(G.Deps.size());
+  }
+}
+
 void BM_Transform(benchmark::State &State, const char *Src) {
   Program Prog = parsedProgram(Src);
   DependenceGraph G = computeDependences(Prog);
@@ -112,6 +125,64 @@ void BM_FourierMotzkin(benchmark::State &State) {
   }
 }
 
+/// Same projection with the syntactic dominance pruning disabled: measures
+/// what the inline pruning in eliminateVar/projectOut buys.
+void BM_FourierMotzkinNoPruning(benchmark::State &State) {
+  bool Prev = ConstraintSystem::setInlinePruning(false);
+  for (auto _ : State) {
+    ConstraintSystem CS(6);
+    for (unsigned V = 0; V < 6; ++V) {
+      CS.addLowerBound(V, 0);
+      CS.addUpperBound(V, 100);
+    }
+    CS.addIneq({1, -1, 0, 0, 0, 0, 0});
+    CS.addIneq({0, 1, -1, 0, 0, 1, 0});
+    CS.addEq({1, 0, 0, -1, 0, 0, -1});
+    CS.projectOut(2, 4);
+    benchmark::DoNotOptimize(CS.numIneqs());
+  }
+  ConstraintSystem::setInlinePruning(Prev);
+}
+
+/// Arithmetic on coefficients that fit int64 (the inline fast path): the
+/// mix FM row combination performs — mul, add, gcd, exact division,
+/// comparison.
+void BM_BigIntSmallOps(benchmark::State &State) {
+  std::vector<BigInt> Vals;
+  for (long long I = 0; I < 64; ++I)
+    Vals.push_back(BigInt((I % 2 ? -1 : 1) * (I * 977 + 3)));
+  for (auto _ : State) {
+    BigInt Acc(0);
+    for (size_t I = 0; I + 1 < Vals.size(); ++I) {
+      BigInt P = Vals[I] * Vals[I + 1];
+      Acc += P - Vals[I];
+      BigInt G = BigInt::gcd(P, Vals[I + 1]);
+      benchmark::DoNotOptimize(P.divExact(G) < Acc);
+    }
+    benchmark::DoNotOptimize(Acc.isZero());
+  }
+}
+
+/// The same operation mix on ~128-bit values (the limb-vector fallback):
+/// the gap between this and small_ops is the price the old representation
+/// paid on every coefficient.
+void BM_BigIntBigOps(benchmark::State &State) {
+  std::vector<BigInt> Vals;
+  BigInt Base = BigInt::fromString("170141183460469231731687303715884105727");
+  for (long long I = 0; I < 64; ++I)
+    Vals.push_back(I % 2 ? -(Base + BigInt(I)) : Base + BigInt(I));
+  for (auto _ : State) {
+    BigInt Acc(0);
+    for (size_t I = 0; I + 1 < Vals.size(); ++I) {
+      BigInt P = Vals[I] * Vals[I + 1];
+      Acc += P - Vals[I];
+      BigInt G = BigInt::gcd(P, Vals[I + 1]);
+      benchmark::DoNotOptimize(P.divExact(G) < Acc);
+    }
+    benchmark::DoNotOptimize(Acc.isZero());
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -128,10 +199,25 @@ int main(int argc, char **argv) {
     benchmark::RegisterBenchmark(
         (std::string("end_to_end_codegen/") + K.Name).c_str(),
         [Src = K.Src](benchmark::State &S) { BM_EndToEnd(S, Src); });
+    benchmark::RegisterBenchmark(
+        (std::string("dependences_serial/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) {
+          BM_DependencesThreads(S, Src, 1);
+        });
+    benchmark::RegisterBenchmark(
+        (std::string("dependences_parallel/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) {
+          BM_DependencesThreads(S, Src, 0);
+        });
   }
   benchmark::RegisterBenchmark("substrate/lexmin_small", BM_LexMinSmall);
   benchmark::RegisterBenchmark("substrate/fourier_motzkin",
                                BM_FourierMotzkin);
+  benchmark::RegisterBenchmark("substrate/fourier_motzkin_nopruning",
+                               BM_FourierMotzkinNoPruning);
+  benchmark::RegisterBenchmark("substrate/bigint_small_ops",
+                               BM_BigIntSmallOps);
+  benchmark::RegisterBenchmark("substrate/bigint_big_ops", BM_BigIntBigOps);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI job: build the whole tree with AddressSanitizer + UBSan and run the
+# complete test suite under it. Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all) and fails the job.
+#
+# Usage: scripts/ci-sanitize.sh [build-dir]
+set -eu
+
+BUILD_DIR=${1:-build-sanitize}
+SRC_DIR=$(dirname "$0")/..
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DPLUTOPP_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# abort_on_error makes ASan failures hard test failures under ctest;
+# detect_leaks covers the dlopen/JIT paths too.
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -9,6 +9,10 @@
 #include <algorithm>
 #include <functional>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 using namespace pluto;
 
 const char *pluto::depKindName(DepKind K) {
@@ -131,6 +135,102 @@ DepKind kindOf(bool SrcWrite, bool DstWrite) {
 
 } // namespace
 
+namespace {
+
+/// One (src stmt, dst stmt, src access, dst access) quadruple of the
+/// dependence-pair worklist. Quadruples are independent of each other, so
+/// they can be processed on any thread; results are concatenated in task
+/// order to keep the output bit-identical to the serial loop.
+struct PairTask {
+  unsigned SI, TI, AI, BI;
+};
+
+/// Emits the dependences of one access pair, in the same order the serial
+/// nest produced them (input; carried levels 1..Common; loop-independent).
+std::vector<Dependence> analyzePair(const Program &Prog,
+                                    const DepOptions &Opts, unsigned MaxRank,
+                                    const PairTask &Task) {
+  std::vector<Dependence> Out;
+  const unsigned SI = Task.SI, TI = Task.TI, AI = Task.AI, BI = Task.BI;
+  const Statement &S = Prog.Stmts[SI];
+  const Statement &T = Prog.Stmts[TI];
+  const Access &A = S.Accesses[AI];
+  const Access &B = T.Accesses[BI];
+  unsigned Common = Prog.commonLoopDepth(S, T);
+
+  DepKind Kind = kindOf(A.IsWrite, B.IsWrite);
+  if (Kind == DepKind::Input) {
+    // Input deps are symmetric and carry no ordering: emit each unordered
+    // pair once, from the earlier (stmt, acc) index, and skip
+    // scalar/self-reference noise.
+    if (!Opts.IncludeInputDeps)
+      return Out;
+    // Each unordered pair once; the (acc, acc) self-pair is kept - it
+    // captures self-temporal reuse of a reference (e.g. a[i][k] across j
+    // iterations in matmul).
+    if (std::make_pair(SI, AI) > std::make_pair(TI, BI))
+      return Out;
+    if (A.Map.numRows() == 0)
+      return Out; // Scalar RAR: no reuse direction to optimize.
+    if (Opts.InputDepsMaxRankOnly && A.Map.numRows() < MaxRank)
+      return Out; // Lower-rank reuse is asymptotically dominated.
+    DepBuilder DB(Prog, S, T);
+    ConstraintSystem CS = DB.base();
+    DB.addAccessEquality(CS, A, B);
+    if (!CS.normalize() || CS.isIntegerEmpty())
+      return Out;
+    Dependence D;
+    D.SrcStmt = SI;
+    D.DstStmt = TI;
+    D.SrcAcc = AI;
+    D.DstAcc = BI;
+    D.Kind = Kind;
+    D.Poly = std::move(CS);
+    Out.push_back(std::move(D));
+    return Out;
+  }
+
+  DepBuilder DB(Prog, S, T);
+  // Loop-carried candidates at each common level.
+  for (unsigned L = 1; L <= Common; ++L) {
+    ConstraintSystem CS = DB.base();
+    DB.addAccessEquality(CS, A, B);
+    DB.addCarriedOrder(CS, L);
+    if (!CS.normalize() || CS.isIntegerEmpty())
+      continue;
+    Dependence D;
+    D.SrcStmt = SI;
+    D.DstStmt = TI;
+    D.SrcAcc = AI;
+    D.DstAcc = BI;
+    D.Kind = Kind;
+    D.CarryLevel = L;
+    D.Poly = std::move(CS);
+    Out.push_back(std::move(D));
+  }
+  // Loop-independent candidate: distinct statements only, source textually
+  // first.
+  if (SI != TI && Prog.textuallyBefore(S, T)) {
+    ConstraintSystem CS = DB.base();
+    DB.addAccessEquality(CS, A, B);
+    DB.addLoopIndependentOrder(CS, Common);
+    if (!CS.normalize() || CS.isIntegerEmpty())
+      return Out;
+    Dependence D;
+    D.SrcStmt = SI;
+    D.DstStmt = TI;
+    D.SrcAcc = AI;
+    D.DstAcc = BI;
+    D.Kind = Kind;
+    D.CarryLevel = 0;
+    D.Poly = std::move(CS);
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}
+
+} // namespace
+
 DependenceGraph pluto::computeDependences(const Program &Prog,
                                           const DepOptions &Opts) {
   DependenceGraph G;
@@ -139,91 +239,38 @@ DependenceGraph pluto::computeDependences(const Program &Prog,
   for (const ArrayInfo &A : Prog.Arrays)
     MaxRank = std::max(MaxRank, A.Rank);
 
-  for (unsigned SI = 0; SI < Prog.Stmts.size(); ++SI) {
-    for (unsigned TI = 0; TI < Prog.Stmts.size(); ++TI) {
-      const Statement &S = Prog.Stmts[SI];
-      const Statement &T = Prog.Stmts[TI];
-      unsigned Common = Prog.commonLoopDepth(S, T);
-      bool SBeforeT = Prog.textuallyBefore(S, T);
+  // Build the worklist of same-array access pairs in the serial iteration
+  // order; each quadruple is analyzed independently.
+  std::vector<PairTask> Tasks;
+  for (unsigned SI = 0; SI < Prog.Stmts.size(); ++SI)
+    for (unsigned TI = 0; TI < Prog.Stmts.size(); ++TI)
+      for (unsigned AI = 0; AI < Prog.Stmts[SI].Accesses.size(); ++AI)
+        for (unsigned BI = 0; BI < Prog.Stmts[TI].Accesses.size(); ++BI)
+          if (Prog.Stmts[SI].Accesses[AI].Array ==
+              Prog.Stmts[TI].Accesses[BI].Array)
+            Tasks.push_back({SI, TI, AI, BI});
 
-      for (unsigned AI = 0; AI < S.Accesses.size(); ++AI) {
-        for (unsigned BI = 0; BI < T.Accesses.size(); ++BI) {
-          const Access &A = S.Accesses[AI];
-          const Access &B = T.Accesses[BI];
-          if (A.Array != B.Array)
-            continue;
-          DepKind Kind = kindOf(A.IsWrite, B.IsWrite);
-          if (Kind == DepKind::Input) {
-            // Input deps are symmetric and carry no ordering: emit each
-            // unordered pair once, from the earlier (stmt, acc) index, and
-            // skip scalar/self-reference noise.
-            if (!Opts.IncludeInputDeps)
-              continue;
-            // Each unordered pair once; the (acc, acc) self-pair is kept -
-            // it captures self-temporal reuse of a reference (e.g. a[i][k]
-            // across j iterations in matmul).
-            if (std::make_pair(SI, AI) > std::make_pair(TI, BI))
-              continue;
-            if (A.Map.numRows() == 0)
-              continue; // Scalar RAR: no reuse direction to optimize.
-            if (Opts.InputDepsMaxRankOnly && A.Map.numRows() < MaxRank)
-              continue; // Lower-rank reuse is asymptotically dominated.
-            DepBuilder DB(Prog, S, T);
-            ConstraintSystem CS = DB.base();
-            DB.addAccessEquality(CS, A, B);
-            if (!CS.normalize() || CS.isIntegerEmpty())
-              continue;
-            Dependence D;
-            D.SrcStmt = SI;
-            D.DstStmt = TI;
-            D.SrcAcc = AI;
-            D.DstAcc = BI;
-            D.Kind = Kind;
-            D.Poly = std::move(CS);
-            G.Deps.push_back(std::move(D));
-            continue;
-          }
-
-          DepBuilder DB(Prog, S, T);
-          // Loop-carried candidates at each common level.
-          for (unsigned L = 1; L <= Common; ++L) {
-            ConstraintSystem CS = DB.base();
-            DB.addAccessEquality(CS, A, B);
-            DB.addCarriedOrder(CS, L);
-            if (!CS.normalize() || CS.isIntegerEmpty())
-              continue;
-            Dependence D;
-            D.SrcStmt = SI;
-            D.DstStmt = TI;
-            D.SrcAcc = AI;
-            D.DstAcc = BI;
-            D.Kind = Kind;
-            D.CarryLevel = L;
-            D.Poly = std::move(CS);
-            G.Deps.push_back(std::move(D));
-          }
-          // Loop-independent candidate: distinct statements only, source
-          // textually first.
-          if (SI != TI && SBeforeT) {
-            ConstraintSystem CS = DB.base();
-            DB.addAccessEquality(CS, A, B);
-            DB.addLoopIndependentOrder(CS, Common);
-            if (!CS.normalize() || CS.isIntegerEmpty())
-              continue;
-            Dependence D;
-            D.SrcStmt = SI;
-            D.DstStmt = TI;
-            D.SrcAcc = AI;
-            D.DstAcc = BI;
-            D.Kind = Kind;
-            D.CarryLevel = 0;
-            D.Poly = std::move(CS);
-            G.Deps.push_back(std::move(D));
-          }
-        }
-      }
-    }
+  std::vector<std::vector<Dependence>> Results(Tasks.size());
+#ifdef _OPENMP
+  if (Opts.NumThreads != 1 && Tasks.size() > 1) {
+    // The emptiness ILPs vary wildly in cost per pair: dynamic scheduling
+    // load-balances; per-task result slots keep the output deterministic.
+#pragma omp parallel for schedule(dynamic, 1)                                  \
+    num_threads(Opts.NumThreads > 0 ? Opts.NumThreads : omp_get_max_threads())
+    for (long I = 0; I < static_cast<long>(Tasks.size()); ++I)
+      Results[I] = analyzePair(Prog, Opts, MaxRank, Tasks[I]);
+  } else {
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      Results[I] = analyzePair(Prog, Opts, MaxRank, Tasks[I]);
   }
+#else
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    Results[I] = analyzePair(Prog, Opts, MaxRank, Tasks[I]);
+#endif
+
+  for (std::vector<Dependence> &R : Results)
+    for (Dependence &D : R)
+      G.Deps.push_back(std::move(D));
   return G;
 }
 

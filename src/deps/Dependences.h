@@ -86,6 +86,10 @@ struct DepOptions {
   /// y1/x1 in MVT) forces a parametric reuse bound on every hyperplane and
   /// the cost function can no longer see the O(N^2) reuse on the matrix.
   bool InputDepsMaxRankOnly = true;
+  /// Worker threads for the per-access-pair loop: 0 uses the OpenMP
+  /// default, 1 forces serial execution. The result is bit-identical for
+  /// every thread count (pairs are emitted in the serial iteration order).
+  int NumThreads = 0;
 };
 
 /// Computes the dependence graph of Prog.

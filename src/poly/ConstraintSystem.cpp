@@ -10,10 +10,38 @@
 #include "support/LinearAlgebra.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
 
 using namespace pluto;
+
+namespace {
+
+/// Hash for constraint rows (vectors of BigInt). BigInt::hash is cheap for
+/// inline (int64) values, which is the common case.
+struct RowVecHash {
+  size_t operator()(const std::vector<BigInt> &Row) const {
+    size_t H = 0x9e3779b97f4a7c15ULL ^ Row.size();
+    for (const BigInt &V : Row)
+      H = (H * 0x100000001b3ULL) ^ V.hash();
+    return H;
+  }
+};
+
+using RowIndexMap =
+    std::unordered_map<std::vector<BigInt>, unsigned, RowVecHash>;
+
+/// When true (default), inequality rows with identical coefficient vectors
+/// are collapsed to the tightest constant during normalize/eliminateVar/
+/// projectOut. Flipped only by substrate benchmarks.
+bool InlinePruningEnabled = true;
+
+} // namespace
+
+bool ConstraintSystem::setInlinePruning(bool Enabled) {
+  bool Prev = InlinePruningEnabled;
+  InlinePruningEnabled = Enabled;
+  return Prev;
+}
 
 void ConstraintSystem::addIneq(std::vector<BigInt> Row) {
   assert(Row.size() == NumVars + 1 && "constraint width mismatch");
@@ -114,7 +142,7 @@ static void tightenIneq(std::vector<BigInt> &Row) {
 bool ConstraintSystem::normalize() {
   // Equalities: gcd-normalize; a row 0 == c with c != 0 is a contradiction.
   IntMatrix NewEqs(NumVars + 1);
-  std::set<std::vector<std::string>> SeenEq;
+  RowIndexMap SeenEq;
   for (unsigned R = 0; R < Eqs.numRows(); ++R) {
     std::vector<BigInt> Row = Eqs.row(R);
     BigInt G(0);
@@ -140,16 +168,17 @@ bool ConstraintSystem::normalize() {
           V = -V;
       break;
     }
-    std::vector<std::string> Key;
-    for (const BigInt &V : Row)
-      Key.push_back(V.toString());
-    if (SeenEq.insert(Key).second)
+    if (SeenEq.try_emplace(Row, NewEqs.numRows()).second)
       NewEqs.addRow(std::move(Row));
   }
   Eqs = std::move(NewEqs);
 
+  // Inequalities: tighten, drop trivially true rows, and deduplicate. With
+  // inline pruning, rows sharing a coefficient vector collapse to the
+  // tightest constant (for a.x + c >= 0 the smallest c dominates).
   IntMatrix NewIneqs(NumVars + 1);
-  std::set<std::vector<std::string>> Seen;
+  RowIndexMap Seen;
+  bool Contradiction = false;
   for (unsigned R = 0; R < Ineqs.numRows(); ++R) {
     std::vector<BigInt> Row = Ineqs.row(R);
     tightenIneq(Row);
@@ -158,17 +187,24 @@ bool ConstraintSystem::normalize() {
       AllZero &= Row[I].isZero();
     if (AllZero) {
       if (Row[NumVars].isNegative())
-        return false;
+        Contradiction = true;
       continue;
     }
-    std::vector<std::string> Key;
-    for (const BigInt &V : Row)
-      Key.push_back(V.toString());
-    if (Seen.insert(Key).second)
+    if (InlinePruningEnabled) {
+      std::vector<BigInt> Key(Row.begin(), Row.end() - 1);
+      auto [It, Inserted] = Seen.try_emplace(std::move(Key),
+                                             NewIneqs.numRows());
+      if (Inserted) {
+        NewIneqs.addRow(std::move(Row));
+      } else if (Row[NumVars] < NewIneqs.row(It->second)[NumVars]) {
+        NewIneqs.row(It->second) = std::move(Row);
+      }
+    } else if (Seen.try_emplace(Row, NewIneqs.numRows()).second) {
       NewIneqs.addRow(std::move(Row));
+    }
   }
   Ineqs = std::move(NewIneqs);
-  return true;
+  return !Contradiction;
 }
 
 void ConstraintSystem::eliminateVar(unsigned Var) {
@@ -223,7 +259,10 @@ void ConstraintSystem::eliminateVar(unsigned Var) {
   }
 
   // No equality: classic Fourier-Motzkin on the inequalities. Any equality
-  // rows here do not involve Var, so they pass through unchanged.
+  // rows here do not involve Var, so they pass through unchanged. Derived
+  // rows are deduplicated (and, with inline pruning, dominance-collapsed)
+  // as they are generated — FM produces |Lower| * |Upper| combinations and
+  // many coincide after gcd normalization.
   std::vector<unsigned> Lower, Upper, None;
   for (unsigned R = 0; R < Ineqs.numRows(); ++R) {
     const BigInt &C = Ineqs(R, Var);
@@ -234,8 +273,22 @@ void ConstraintSystem::eliminateVar(unsigned Var) {
     else
       None.push_back(R);
   }
+  RowIndexMap Seen;
+  auto addDedup = [&](std::vector<BigInt> Row) {
+    if (InlinePruningEnabled) {
+      std::vector<BigInt> Key(Row.begin(), Row.end() - 1);
+      auto [It, Inserted] = Seen.try_emplace(std::move(Key),
+                                             NewIneqs.numRows());
+      if (Inserted)
+        NewIneqs.addRow(std::move(Row));
+      else if (Row[NumVars - 1] < NewIneqs.row(It->second)[NumVars - 1])
+        NewIneqs.row(It->second) = std::move(Row);
+    } else if (Seen.try_emplace(Row, NewIneqs.numRows()).second) {
+      NewIneqs.addRow(std::move(Row));
+    }
+  };
   for (unsigned R : None)
-    NewIneqs.addRow(dropColumn(Ineqs.row(R)));
+    addDedup(dropColumn(Ineqs.row(R)));
   for (unsigned L : Lower) {
     for (unsigned U : Upper) {
       const std::vector<BigInt> &RL = Ineqs.row(L);
@@ -247,7 +300,7 @@ void ConstraintSystem::eliminateVar(unsigned Var) {
         R[C] = Q * RL[C] + P * RU[C];
       assert(R[Var].isZero() && "FM combination failed");
       normalizeByGcd(R);
-      NewIneqs.addRow(dropColumn(std::move(R)));
+      addDedup(dropColumn(std::move(R)));
     }
   }
   for (unsigned R = 0; R < Eqs.numRows(); ++R)
@@ -346,17 +399,24 @@ void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
         else
           Next.push_back(std::move(R));
       }
+      // Key rows by their coefficient vector (constant excluded when inline
+      // pruning is on, so dominated rows collapse to the tightest constant).
       auto keyOf = [&](const std::vector<BigInt> &Coef) {
-        std::string K;
-        for (const BigInt &C : Coef)
-          K += C.toString() + ",";
-        return K;
+        if (InlinePruningEnabled)
+          return std::vector<BigInt>(Coef.begin(), Coef.end() - 1);
+        return Coef;
       };
       // Duplicate rows keep the SMALLEST ancestor set so the pruning rule
       // never discards the cheapest derivation of an irredundant row.
-      std::map<std::string, size_t> Seen;
-      for (size_t I = 0; I < Next.size(); ++I)
-        Seen[keyOf(Next[I].Coef)] = I;
+      std::unordered_map<std::vector<BigInt>, size_t, RowVecHash> Seen;
+      for (size_t I = 0; I < Next.size(); ++I) {
+        auto [It, Inserted] = Seen.try_emplace(keyOf(Next[I].Coef), I);
+        if (!Inserted && Next[I].Coef[NumVars] <
+                             Next[It->second].Coef[NumVars]) {
+          // Tighter constant on an equal coefficient vector dominates.
+          It->second = I;
+        }
+      }
       for (const FmRow &L : Lower) {
         for (const FmRow &U : Upper) {
           std::vector<unsigned> Anc = mergeAnc(L.Anc, U.Anc);
@@ -376,8 +436,15 @@ void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
             continue; // Trivial (or contradiction caught by normalize()).
           auto [It, Inserted] = Seen.try_emplace(keyOf(Coef), Next.size());
           if (!Inserted) {
-            if (Anc.size() < Next[It->second].Anc.size())
-              Next[It->second].Anc = std::move(Anc);
+            FmRow &Old = Next[It->second];
+            if (InlinePruningEnabled && Coef[NumVars] < Old.Coef[NumVars]) {
+              // Strictly tighter: replace the dominated row outright.
+              Old.Coef = std::move(Coef);
+              Old.Anc = std::move(Anc);
+            } else if (Coef[NumVars] == Old.Coef[NumVars] &&
+                       Anc.size() < Old.Anc.size()) {
+              Old.Anc = std::move(Anc);
+            }
             continue;
           }
           Next.push_back({std::move(Coef), std::move(Anc)});

@@ -3,6 +3,14 @@
 // Part of plutopp, a reproduction of the PLDI'08 Pluto system.
 //
 //===----------------------------------------------------------------------===//
+//
+// Overflow discipline: every inline (int64) fast path uses the compiler's
+// checked-arithmetic builtins; on overflow the operands are materialized
+// into limb vectors and the exact limb algorithms run. Results are demoted
+// back to the inline form whenever they fit, keeping the representation
+// canonical (limb form <=> value outside int64 range).
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/BigInt.h"
 
@@ -10,20 +18,50 @@
 
 using namespace pluto;
 
-BigInt::BigInt(long long V) {
-  if (V == 0) {
-    Sign = 0;
-    return;
+BigInt BigInt::makeLarge(int S, std::vector<uint32_t> M) {
+  while (!M.empty() && M.back() == 0)
+    M.pop_back();
+  if (M.empty())
+    S = 0;
+
+  // Demote when the value fits in int64.
+  bool Fits = false;
+  if (M.size() < 2)
+    Fits = true;
+  else if (M.size() == 2) {
+    uint64_t U = (static_cast<uint64_t>(M[1]) << 32) | M[0];
+    Fits = S > 0 ? U <= static_cast<uint64_t>(INT64_MAX)
+                 : U <= static_cast<uint64_t>(INT64_MAX) + 1;
   }
-  Sign = V < 0 ? -1 : 1;
-  // Careful with LLONG_MIN: negate in unsigned space.
-  unsigned long long U =
-      V < 0 ? ~static_cast<unsigned long long>(V) + 1ULL
-            : static_cast<unsigned long long>(V);
+  if (Fits) {
+    uint64_t U = 0;
+    if (M.size() >= 1)
+      U |= M[0];
+    if (M.size() >= 2)
+      U |= static_cast<uint64_t>(M[1]) << 32;
+    int64_t V = S < 0 ? -static_cast<int64_t>(U - 1) - 1 // Handles INT64_MIN.
+                      : static_cast<int64_t>(U);
+    return BigInt(V);
+  }
+
+  BigInt R;
+  R.IsSmall = false;
+  R.Small = 0;
+  R.Sign = static_cast<int8_t>(S);
+  R.Mag = std::move(M);
+  return R;
+}
+
+std::vector<uint32_t> BigInt::magnitude() const {
+  if (!IsSmall)
+    return Mag;
+  std::vector<uint32_t> M;
+  uint64_t U = absU64(Small);
   while (U != 0) {
-    Mag.push_back(static_cast<uint32_t>(U & 0xffffffffULL));
+    M.push_back(static_cast<uint32_t>(U & 0xffffffffULL));
     U >>= 32;
   }
+  return M;
 }
 
 BigInt BigInt::fromString(const std::string &S) {
@@ -35,65 +73,49 @@ BigInt BigInt::fromString(const std::string &S) {
     I = 1;
   }
   assert(I < S.size() && "sign with no digits");
+  // Fast path: accumulate in unsigned 64-bit while it cannot overflow.
+  uint64_t U = 0;
+  bool Overflow = false;
+  for (size_t J = I; J < S.size(); ++J) {
+    assert(S[J] >= '0' && S[J] <= '9' && "non-digit in integer literal");
+    if (__builtin_mul_overflow(U, static_cast<uint64_t>(10), &U) ||
+        __builtin_add_overflow(U, static_cast<uint64_t>(S[J] - '0'), &U)) {
+      Overflow = true;
+      break;
+    }
+  }
+  if (!Overflow) {
+    uint64_t Limit = static_cast<uint64_t>(INT64_MAX) + (Neg ? 1 : 0);
+    if (U <= Limit) {
+      if (!Neg)
+        return BigInt(static_cast<int64_t>(U));
+      return BigInt(U == 0 ? 0 : -static_cast<int64_t>(U - 1) - 1);
+    }
+    // Fits in uint64 but not int64: two limbs.
+    return makeLarge(Neg ? -1 : 1,
+                     {static_cast<uint32_t>(U), static_cast<uint32_t>(U >> 32)});
+  }
+  // Slow path: limb-by-limb decimal accumulation.
   BigInt R;
   BigInt Ten(10);
-  for (; I < S.size(); ++I) {
-    assert(S[I] >= '0' && S[I] <= '9' && "non-digit in integer literal");
+  for (; I < S.size(); ++I)
     R = R * Ten + BigInt(S[I] - '0');
-  }
   return Neg ? -R : R;
 }
 
-void BigInt::normalize() {
-  while (!Mag.empty() && Mag.back() == 0)
-    Mag.pop_back();
-  if (Mag.empty())
-    Sign = 0;
-}
-
-bool BigInt::isOne() const {
-  return Sign == 1 && Mag.size() == 1 && Mag[0] == 1;
-}
-
-bool BigInt::isMinusOne() const {
-  return Sign == -1 && Mag.size() == 1 && Mag[0] == 1;
-}
-
-bool BigInt::fitsInt64() const {
-  if (Mag.size() < 2)
-    return true;
-  if (Mag.size() > 2)
-    return false;
-  uint64_t U = (static_cast<uint64_t>(Mag[1]) << 32) | Mag[0];
-  if (Sign > 0)
-    return U <= static_cast<uint64_t>(INT64_MAX);
-  return U <= static_cast<uint64_t>(INT64_MAX) + 1;
-}
-
-int64_t BigInt::toInt64() const {
-  assert(fitsInt64() && "BigInt does not fit in int64");
-  uint64_t U = 0;
-  if (Mag.size() >= 1)
-    U |= Mag[0];
-  if (Mag.size() >= 2)
-    U |= static_cast<uint64_t>(Mag[1]) << 32;
-  if (Sign < 0)
-    return -static_cast<int64_t>(U - 1) - 1; // Handles INT64_MIN.
-  return static_cast<int64_t>(U);
-}
-
 BigInt BigInt::operator-() const {
-  BigInt R = *this;
-  R.Sign = -R.Sign;
-  return R;
+  if (IsSmall) {
+    if (Small != INT64_MIN)
+      return BigInt(-Small);
+    // -INT64_MIN = 2^63 does not fit: promote.
+    return makeLarge(1, {0, 0x80000000u});
+  }
+  // The inline range is asymmetric: negating +2^63 (limb form) lands on
+  // INT64_MIN, so re-canonicalize through makeLarge.
+  return makeLarge(-Sign, Mag);
 }
 
-BigInt BigInt::abs() const {
-  BigInt R = *this;
-  if (R.Sign < 0)
-    R.Sign = 1;
-  return R;
-}
+BigInt BigInt::abs() const { return isNegative() ? -*this : *this; }
 
 int BigInt::compareMag(const std::vector<uint32_t> &A,
                        const std::vector<uint32_t> &B) {
@@ -106,10 +128,16 @@ int BigInt::compareMag(const std::vector<uint32_t> &A,
 }
 
 int BigInt::compare(const BigInt &RHS) const {
+  if (IsSmall && RHS.IsSmall)
+    return Small < RHS.Small ? -1 : Small > RHS.Small ? 1 : 0;
+  // Canonical form: a limb-form value lies strictly outside the int64 range,
+  // so mixed comparisons are decided by the limb side's sign.
+  if (IsSmall)
+    return RHS.Sign > 0 ? -1 : 1;
+  if (RHS.IsSmall)
+    return Sign > 0 ? 1 : -1;
   if (Sign != RHS.Sign)
     return Sign < RHS.Sign ? -1 : 1;
-  if (Sign == 0)
-    return 0;
   int C = compareMag(Mag, RHS.Mag);
   return Sign > 0 ? C : -C;
 }
@@ -238,65 +266,105 @@ std::vector<uint32_t> BigInt::divModMag(const std::vector<uint32_t> &A,
   return Q;
 }
 
-BigInt BigInt::operator+(const BigInt &RHS) const {
-  if (Sign == 0)
+BigInt BigInt::addSlow(const BigInt &RHS) const {
+  int SA = signum(), SB = RHS.signum();
+  if (SA == 0)
     return RHS;
-  if (RHS.Sign == 0)
+  if (SB == 0)
     return *this;
-  BigInt R;
-  if (Sign == RHS.Sign) {
-    R.Sign = Sign;
-    R.Mag = addMag(Mag, RHS.Mag);
-    return R;
-  }
-  int C = compareMag(Mag, RHS.Mag);
+  std::vector<uint32_t> MA = magnitude(), MB = RHS.magnitude();
+  if (SA == SB)
+    return makeLarge(SA, addMag(MA, MB));
+  int C = compareMag(MA, MB);
   if (C == 0)
     return BigInt();
-  if (C > 0) {
-    R.Sign = Sign;
-    R.Mag = subMag(Mag, RHS.Mag);
-  } else {
-    R.Sign = RHS.Sign;
-    R.Mag = subMag(RHS.Mag, Mag);
-  }
-  return R;
+  if (C > 0)
+    return makeLarge(SA, subMag(MA, MB));
+  return makeLarge(SB, subMag(MB, MA));
 }
 
-BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (IsSmall && RHS.IsSmall) {
+    int64_t R;
+    if (!__builtin_add_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+  }
+  return addSlow(RHS);
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const {
+  if (IsSmall && RHS.IsSmall) {
+    int64_t R;
+    if (!__builtin_sub_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+  }
+  return addSlow(-RHS);
+}
+
+BigInt BigInt::mulSlow(const BigInt &RHS) const {
+  int S = signum() * RHS.signum();
+  if (S == 0)
+    return BigInt();
+  return makeLarge(S, mulMag(magnitude(), RHS.magnitude()));
+}
 
 BigInt BigInt::operator*(const BigInt &RHS) const {
-  BigInt R;
-  R.Sign = Sign * RHS.Sign;
-  if (R.Sign != 0)
-    R.Mag = mulMag(Mag, RHS.Mag);
-  R.normalize();
-  return R;
+  if (IsSmall && RHS.IsSmall) {
+    int64_t R;
+    if (!__builtin_mul_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+  }
+  return mulSlow(RHS);
+}
+
+BigInt BigInt::divSlow(const BigInt &RHS) const {
+  std::vector<uint32_t> Rem;
+  std::vector<uint32_t> Q = divModMag(magnitude(), RHS.magnitude(), Rem);
+  return makeLarge(signum() * RHS.signum(), std::move(Q));
 }
 
 BigInt BigInt::operator/(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  if (Sign == 0)
+  if (IsSmall && RHS.IsSmall) {
+    // INT64_MIN / -1 is the single overflowing int64 quotient.
+    if (!(Small == INT64_MIN && RHS.Small == -1))
+      return BigInt(Small / RHS.Small);
+  }
+  if (isZero())
     return BigInt();
+  return divSlow(RHS);
+}
+
+BigInt BigInt::modSlow(const BigInt &RHS) const {
   std::vector<uint32_t> Rem;
-  BigInt Q;
-  Q.Mag = divModMag(Mag, RHS.Mag, Rem);
-  Q.Sign = Q.Mag.empty() ? 0 : Sign * RHS.Sign;
-  return Q;
+  divModMag(magnitude(), RHS.magnitude(), Rem);
+  return makeLarge(signum(), std::move(Rem));
 }
 
 BigInt BigInt::operator%(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  if (Sign == 0)
+  if (IsSmall && RHS.IsSmall) {
+    if (!(Small == INT64_MIN && RHS.Small == -1))
+      return BigInt(Small % RHS.Small);
+    return BigInt(); // INT64_MIN % -1 == 0.
+  }
+  if (isZero())
     return BigInt();
-  std::vector<uint32_t> Rem;
-  divModMag(Mag, RHS.Mag, Rem);
-  BigInt R;
-  R.Mag = Rem;
-  R.Sign = Rem.empty() ? 0 : Sign;
-  return R;
+  return modSlow(RHS);
 }
 
 BigInt BigInt::floorDiv(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  if (IsSmall && RHS.IsSmall &&
+      !(Small == INT64_MIN && RHS.Small == -1)) {
+    int64_t Q = Small / RHS.Small;
+    int64_t R = Small % RHS.Small;
+    // Q only reaches INT64_MIN with R == 0, so the adjustment cannot
+    // overflow.
+    if (R != 0 && ((R < 0) != (RHS.Small < 0)))
+      --Q;
+    return BigInt(Q);
+  }
   BigInt Q = *this / RHS;
   BigInt R = *this % RHS;
   if (!R.isZero() && (R.isNegative() != RHS.isNegative()))
@@ -305,6 +373,17 @@ BigInt BigInt::floorDiv(const BigInt &RHS) const {
 }
 
 BigInt BigInt::ceilDiv(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  if (IsSmall && RHS.IsSmall &&
+      !(Small == INT64_MIN && RHS.Small == -1)) {
+    int64_t Q = Small / RHS.Small;
+    int64_t R = Small % RHS.Small;
+    // Q only reaches INT64_MAX with R == 0, so the adjustment cannot
+    // overflow.
+    if (R != 0 && ((R < 0) == (RHS.Small < 0)))
+      ++Q;
+    return BigInt(Q);
+  }
   BigInt Q = *this / RHS;
   BigInt R = *this % RHS;
   if (!R.isZero() && (R.isNegative() == RHS.isNegative()))
@@ -325,6 +404,19 @@ BigInt BigInt::divExact(const BigInt &RHS) const {
 }
 
 BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  if (A.IsSmall && B.IsSmall) {
+    uint64_t X = absU64(A.Small), Y = absU64(B.Small);
+    while (Y != 0) {
+      uint64_t T = X % Y;
+      X = Y;
+      Y = T;
+    }
+    if (X <= static_cast<uint64_t>(INT64_MAX))
+      return BigInt(static_cast<int64_t>(X));
+    // gcd involving INT64_MIN can be 2^63, one past the inline range.
+    return makeLarge(1, {static_cast<uint32_t>(X),
+                         static_cast<uint32_t>(X >> 32)});
+  }
   BigInt X = A.abs(), Y = B.abs();
   while (!Y.isZero()) {
     BigInt T = X % Y;
@@ -340,9 +432,25 @@ BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
   return (A.abs() / gcd(A, B)) * B.abs();
 }
 
+size_t BigInt::hash() const {
+  // splitmix64-style mixing; limb form folds each limb in.
+  auto mix = [](uint64_t X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  };
+  if (IsSmall)
+    return static_cast<size_t>(mix(static_cast<uint64_t>(Small)));
+  uint64_t H = mix(Sign < 0 ? ~0ULL : 1ULL);
+  for (uint32_t L : Mag)
+    H = mix(H ^ L);
+  return static_cast<size_t>(H);
+}
+
 std::string BigInt::toString() const {
-  if (Sign == 0)
-    return "0";
+  if (IsSmall)
+    return std::to_string(Small);
   std::string Digits;
   std::vector<uint32_t> M = Mag;
   std::vector<uint32_t> Ten = {10};

@@ -7,10 +7,18 @@
 /// \file
 /// Sign-magnitude arbitrary-precision integer used throughout the polyhedral
 /// machinery (Fourier-Motzkin elimination, the lexmin simplex and Farkas
-/// multiplier elimination can all overflow 64-bit intermediates). The design
-/// favours simplicity and exactness over raw speed: magnitudes are stored as
-/// little-endian vectors of 32-bit limbs. This plays the role GMP plays for
-/// PipLib/PolyLib in the original Pluto tool-chain.
+/// multiplier elimination can all overflow 64-bit intermediates). This plays
+/// the role GMP plays for PipLib/PolyLib in the original Pluto tool-chain.
+///
+/// Representation (the isl_int / LLVM-APInt pattern): values that fit in a
+/// signed 64-bit integer are stored inline with overflow-checked fast paths
+/// for every arithmetic operation; only values outside the int64 range fall
+/// back to a little-endian vector of 32-bit limbs. The representation is
+/// canonical — the limb form is used *iff* the value does not fit in int64 —
+/// so comparisons and hashing never need cross-representation paths for
+/// equal values, and in-range results of big-value arithmetic demote back to
+/// the inline form. In practice polyhedral coefficients are tiny, so the
+/// fast paths make the substrate allocation-free on the hot paths.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +26,7 @@
 #define PLUTOPP_SUPPORT_BIGINT_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,23 +39,27 @@ namespace pluto {
 /// provide the rounding variants polyhedral code generation needs.
 class BigInt {
 public:
-  BigInt() : Sign(0) {}
-  BigInt(long long V);
+  BigInt() : Small(0), IsSmall(true), Sign(0) {}
+  BigInt(long long V) : Small(V), IsSmall(true), Sign(0) {}
 
   /// Parses a base-10 literal with optional leading '-'. Asserts on malformed
   /// input (this is an internal type; inputs are trusted).
   static BigInt fromString(const std::string &S);
 
-  bool isZero() const { return Sign == 0; }
-  bool isNegative() const { return Sign < 0; }
-  bool isPositive() const { return Sign > 0; }
-  bool isOne() const;
-  bool isMinusOne() const;
+  bool isZero() const { return IsSmall ? Small == 0 : Sign == 0; }
+  bool isNegative() const { return IsSmall ? Small < 0 : Sign < 0; }
+  bool isPositive() const { return IsSmall ? Small > 0 : Sign > 0; }
+  bool isOne() const { return IsSmall && Small == 1; }
+  bool isMinusOne() const { return IsSmall && Small == -1; }
 
-  /// Returns true iff the value fits in a signed 64-bit integer.
-  bool fitsInt64() const;
+  /// Returns true iff the value fits in a signed 64-bit integer. Because the
+  /// representation is canonical this is exactly the inline-form test.
+  bool fitsInt64() const { return IsSmall; }
   /// Converts to int64; asserts that the value fits.
-  int64_t toInt64() const;
+  int64_t toInt64() const {
+    assert(IsSmall && "BigInt does not fit in int64");
+    return Small;
+  }
 
   BigInt operator-() const;
   BigInt abs() const;
@@ -74,8 +87,12 @@ public:
   /// Exact division; asserts that RHS divides this exactly.
   BigInt divExact(const BigInt &RHS) const;
 
-  bool operator==(const BigInt &RHS) const { return compare(RHS) == 0; }
-  bool operator!=(const BigInt &RHS) const { return compare(RHS) != 0; }
+  bool operator==(const BigInt &RHS) const {
+    if (IsSmall && RHS.IsSmall)
+      return Small == RHS.Small;
+    return compare(RHS) == 0;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
   bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
   bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
   bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
@@ -89,15 +106,40 @@ public:
   /// Least common multiple (always non-negative). lcm(0, x) == 0.
   static BigInt lcm(const BigInt &A, const BigInt &B);
 
+  /// Hash of the value (equal values hash equal; representation is
+  /// canonical so no cross-form mixing is needed).
+  size_t hash() const;
+
   std::string toString() const;
 
 private:
-  /// -1, 0 or +1. Magnitude is empty iff Sign == 0.
-  int Sign;
-  /// Little-endian 32-bit limbs; no trailing zero limbs.
+  /// Inline value; valid iff IsSmall.
+  int64_t Small;
+  /// Discriminator: true iff the value fits in int64 (canonical form).
+  bool IsSmall;
+  /// Limb-form sign: -1, 0 or +1. Magnitude is empty iff Sign == 0. Valid
+  /// iff !IsSmall (and then never 0, since 0 fits inline).
+  int8_t Sign;
+  /// Little-endian 32-bit limbs; no trailing zero limbs. Valid iff !IsSmall.
   std::vector<uint32_t> Mag;
 
-  void normalize();
+  /// Builds a limb-form value and demotes it to the inline form when it
+  /// fits (maintains the canonical-representation invariant).
+  static BigInt makeLarge(int Sign, std::vector<uint32_t> Mag);
+  /// |Small| as an unsigned 64-bit value (handles INT64_MIN).
+  static uint64_t absU64(int64_t V) {
+    return V < 0 ? ~static_cast<uint64_t>(V) + 1 : static_cast<uint64_t>(V);
+  }
+  /// -1, 0 or +1 regardless of representation.
+  int signum() const {
+    if (IsSmall)
+      return Small < 0 ? -1 : Small > 0 ? 1 : 0;
+    return Sign;
+  }
+  /// Materializes the magnitude limbs (allocates for inline values; slow
+  /// paths only).
+  std::vector<uint32_t> magnitude() const;
+
   static int compareMag(const std::vector<uint32_t> &A,
                         const std::vector<uint32_t> &B);
   static std::vector<uint32_t> addMag(const std::vector<uint32_t> &A,
@@ -111,6 +153,11 @@ private:
   static std::vector<uint32_t> divModMag(const std::vector<uint32_t> &A,
                                          const std::vector<uint32_t> &B,
                                          std::vector<uint32_t> &Rem);
+
+  BigInt addSlow(const BigInt &RHS) const;
+  BigInt mulSlow(const BigInt &RHS) const;
+  BigInt divSlow(const BigInt &RHS) const;
+  BigInt modSlow(const BigInt &RHS) const;
 };
 
 } // namespace pluto

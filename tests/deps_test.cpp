@@ -202,4 +202,44 @@ TEST(DepsTest, SatisfiedDepsLeaveScc) {
   EXPECT_EQ(G.numSccs(2), 2u);
 }
 
+TEST(DepsTest, ParallelAnalysisIsDeterministic) {
+  // The OpenMP worklist must return dependences in the same order and with
+  // identical polyhedra regardless of thread count, on every kernel.
+  struct NamedKernel {
+    const char *Name;
+    const char *Src;
+  };
+  const NamedKernel All[] = {
+      {"jacobi1d", kernels::Jacobi1D}, {"fdtd2d", kernels::Fdtd2D},
+      {"lu", kernels::LU},             {"mvt", kernels::MVT},
+      {"seidel2d", kernels::Seidel2D}, {"matmul", kernels::MatMul},
+      {"sweep2d", kernels::Sweep2D},   {"jacobi2d", kernels::Jacobi2D},
+      {"gemver", kernels::Gemver},     {"trmm", kernels::Trmm},
+      {"syrk", kernels::Syrk},         {"doitgen", kernels::Doitgen},
+      {"atax", kernels::Atax},
+  };
+  for (const NamedKernel &K : All) {
+    Program Prog = parse(K.Src);
+    DepOptions Serial, Parallel;
+    Serial.NumThreads = 1;
+    Parallel.NumThreads = 4;
+    DependenceGraph GS = computeDependences(Prog, Serial);
+    DependenceGraph GP = computeDependences(Prog, Parallel);
+    ASSERT_EQ(GS.Deps.size(), GP.Deps.size()) << K.Name;
+    for (size_t I = 0; I < GS.Deps.size(); ++I) {
+      const Dependence &A = GS.Deps[I];
+      const Dependence &B = GP.Deps[I];
+      EXPECT_EQ(A.SrcStmt, B.SrcStmt) << K.Name << " dep " << I;
+      EXPECT_EQ(A.DstStmt, B.DstStmt) << K.Name << " dep " << I;
+      EXPECT_EQ(A.SrcAcc, B.SrcAcc) << K.Name << " dep " << I;
+      EXPECT_EQ(A.DstAcc, B.DstAcc) << K.Name << " dep " << I;
+      EXPECT_EQ(A.Kind, B.Kind) << K.Name << " dep " << I;
+      EXPECT_EQ(A.CarryLevel, B.CarryLevel) << K.Name << " dep " << I;
+      // Bit-identical polyhedra: same matrices row for row.
+      EXPECT_EQ(A.Poly.ineqs(), B.Poly.ineqs()) << K.Name << " dep " << I;
+      EXPECT_EQ(A.Poly.eqs(), B.Poly.eqs()) << K.Name << " dep " << I;
+    }
+  }
+}
+
 } // namespace

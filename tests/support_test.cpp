@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <random>
 
@@ -97,6 +98,165 @@ TEST(BigIntTest, Comparisons) {
   BigInt Big = BigInt::fromString("99999999999999999999");
   EXPECT_GT(Big, BigInt(INT64_MAX));
   EXPECT_LT(-Big, BigInt(INT64_MIN));
+}
+
+// ---- Randomized oracle for the small-integer fast path ------------------
+//
+// The inline int64 representation promotes to limbs exactly at the int64
+// overflow boundary; these tests hammer that boundary against a __int128
+// oracle so the fast path is proven behavior-identical to the limb
+// algorithms.
+
+std::string int128ToString(__int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  unsigned __int128 U =
+      Neg ? ~static_cast<unsigned __int128>(V) + 1
+          : static_cast<unsigned __int128>(V);
+  std::string S;
+  while (U != 0) {
+    S.push_back(static_cast<char>('0' + static_cast<int>(U % 10)));
+    U /= 10;
+  }
+  if (Neg)
+    S.push_back('-');
+  std::reverse(S.begin(), S.end());
+  return S;
+}
+
+/// Draws values clustered around the int64 overflow boundary: exact
+/// boundary values, small offsets from them, and uniform 64-bit noise.
+int64_t boundaryValue(std::mt19937_64 &Rng) {
+  std::uniform_int_distribution<int> Kind(0, 3);
+  std::uniform_int_distribution<int64_t> SmallOff(0, 1000);
+  switch (Kind(Rng)) {
+  case 0:
+    return INT64_MAX - SmallOff(Rng);
+  case 1:
+    return INT64_MIN + SmallOff(Rng);
+  case 2: {
+    // Around +-2^31..2^33: products straddle the promotion boundary.
+    int64_t Base = (1LL << 31) + SmallOff(Rng) * ((1LL << 33) / 1000);
+    return Rng() % 2 ? Base : -Base;
+  }
+  default:
+    return static_cast<int64_t>(Rng());
+  }
+}
+
+TEST(BigIntOracleTest, Int128CrossCheckAroundOverflowBoundary) {
+  std::mt19937_64 Rng(20260806);
+  for (int I = 0; I < 20000; ++I) {
+    int64_t A = boundaryValue(Rng), B = boundaryValue(Rng);
+    __int128 A128 = A, B128 = B;
+    BigInt BA(A), BB(B);
+    EXPECT_EQ((BA + BB).toString(), int128ToString(A128 + B128));
+    EXPECT_EQ((BA - BB).toString(), int128ToString(A128 - B128));
+    EXPECT_EQ((BA * BB).toString(), int128ToString(A128 * B128));
+    EXPECT_EQ(BA.compare(BB), A < B ? -1 : A > B ? 1 : 0);
+    if (B != 0) {
+      EXPECT_EQ((BA / BB).toString(), int128ToString(A128 / B128));
+      EXPECT_EQ((BA % BB).toString(), int128ToString(A128 % B128));
+      // Floor division: truncating quotient adjusted when signs differ.
+      __int128 Q = A128 / B128, R = A128 % B128;
+      __int128 FQ = (R != 0 && ((R < 0) != (B128 < 0))) ? Q - 1 : Q;
+      __int128 CQ = (R != 0 && ((R < 0) == (B128 < 0))) ? Q + 1 : Q;
+      EXPECT_EQ(BA.floorDiv(BB).toString(), int128ToString(FQ));
+      EXPECT_EQ(BA.ceilDiv(BB).toString(), int128ToString(CQ));
+      EXPECT_EQ(BA.floorMod(BB).toString(), int128ToString(A128 - FQ * B128));
+    }
+  }
+}
+
+TEST(BigIntOracleTest, DivModGcdLcmIdentities) {
+  std::mt19937_64 Rng(97);
+  for (int I = 0; I < 20000; ++I) {
+    int64_t A = boundaryValue(Rng), B = boundaryValue(Rng);
+    BigInt BA(A), BB(B);
+    if (B != 0) {
+      // (a/b)*b + a%b == a (C semantics), |a%b| < |b|.
+      EXPECT_EQ((BA / BB) * BB + (BA % BB), BA);
+      EXPECT_LT((BA % BB).abs(), BB.abs());
+    }
+    BigInt G = BigInt::gcd(BA, BB);
+    if (A != 0 || B != 0) {
+      EXPECT_TRUE(G.isPositive());
+      EXPECT_TRUE((BA % G).isZero());
+      EXPECT_TRUE((BB % G).isZero());
+    } else {
+      EXPECT_TRUE(G.isZero());
+    }
+    if (A != 0 && B != 0) {
+      // lcm * gcd == |a * b|.
+      __int128 Prod = static_cast<__int128>(A) * B;
+      if (Prod < 0)
+        Prod = -Prod;
+      EXPECT_EQ((BigInt::lcm(BA, BB) * G).toString(), int128ToString(Prod));
+    }
+  }
+}
+
+TEST(BigIntOracleTest, PromotionBoundaryExact) {
+  // Exactly INT64_MAX stays inline; one past promotes; demotion comes back.
+  BigInt Max(INT64_MAX), Min(INT64_MIN), One(1);
+  EXPECT_TRUE(Max.fitsInt64());
+  EXPECT_TRUE(Min.fitsInt64());
+  BigInt MaxPlus = Max + One;
+  EXPECT_FALSE(MaxPlus.fitsInt64());
+  EXPECT_EQ(MaxPlus.toString(), "9223372036854775808");
+  EXPECT_TRUE((MaxPlus - One).fitsInt64());
+  EXPECT_EQ((MaxPlus - One).toInt64(), INT64_MAX);
+  BigInt MinMinus = Min - One;
+  EXPECT_FALSE(MinMinus.fitsInt64());
+  EXPECT_EQ(MinMinus.toString(), "-9223372036854775809");
+  EXPECT_TRUE((MinMinus + One).fitsInt64());
+  EXPECT_EQ((MinMinus + One).toInt64(), INT64_MIN);
+  // Negation of INT64_MIN promotes; re-negation demotes.
+  BigInt NegMin = -Min;
+  EXPECT_FALSE(NegMin.fitsInt64());
+  EXPECT_EQ(NegMin.toString(), "9223372036854775808");
+  EXPECT_EQ(-NegMin, Min);
+  EXPECT_EQ(Min.abs(), NegMin);
+  // INT64_MIN / -1 and % -1 (the one overflowing int64 division).
+  EXPECT_EQ((Min / BigInt(-1)), NegMin);
+  EXPECT_TRUE((Min % BigInt(-1)).isZero());
+  // gcd(INT64_MIN, 0) == 2^63 does not fit int64.
+  BigInt G = BigInt::gcd(Min, BigInt(0));
+  EXPECT_FALSE(G.fitsInt64());
+  EXPECT_EQ(G.toString(), "9223372036854775808");
+  EXPECT_EQ(BigInt::gcd(Min, Min), NegMin);
+}
+
+TEST(BigIntOracleTest, StringParsedBigValueIdentities) {
+  // Values far beyond 128 bits: check algebraic identities and exact
+  // decimal round-trips against string-parsed references.
+  std::mt19937_64 Rng(1234);
+  std::uniform_int_distribution<int> Len(20, 60);
+  std::uniform_int_distribution<int> Digit(0, 9);
+  for (int I = 0; I < 200; ++I) {
+    std::string SA = "1", SB = "2"; // Nonzero leading digits.
+    for (int J = Len(Rng); J-- > 0;)
+      SA.push_back(static_cast<char>('0' + Digit(Rng)));
+    for (int J = Len(Rng); J-- > 0;)
+      SB.push_back(static_cast<char>('0' + Digit(Rng)));
+    BigInt A = BigInt::fromString(SA);
+    BigInt B = BigInt::fromString(SB);
+    EXPECT_EQ(A.toString(), SA);
+    EXPECT_EQ(B.toString(), SB);
+    EXPECT_EQ((A + B) - B, A);
+    EXPECT_EQ((A * B).divExact(B), A);
+    EXPECT_EQ((A * B) % A, BigInt(0));
+    EXPECT_EQ((-A).abs(), A);
+    BigInt Q = A / B, R = A % B;
+    EXPECT_EQ(Q * B + R, A);
+    EXPECT_LT(R.abs(), B.abs());
+    BigInt G = BigInt::gcd(A * B, B);
+    EXPECT_TRUE((B % G).isZero());
+    // Mixed small/large arithmetic demotes correctly.
+    EXPECT_EQ((A + BigInt(1)) - A, BigInt(1));
+    EXPECT_TRUE(((A + BigInt(1)) - A).fitsInt64());
+  }
 }
 
 TEST(RationalTest, Normalization) {
