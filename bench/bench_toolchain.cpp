@@ -16,6 +16,7 @@
 #include "driver/Driver.h"
 #include "driver/Kernels.h"
 #include "ilp/LexMin.h"
+#include "observe/PassStats.h"
 
 #include <benchmark/benchmark.h>
 
@@ -79,6 +80,26 @@ void BM_Transform(benchmark::State &State, const char *Src) {
     auto S = computeSchedule(Prog, Copy);
     benchmark::DoNotOptimize(S.hasValue());
   }
+}
+
+/// The same work with a PassStats sink installed. Compare against
+/// transform/<kernel> to measure the observability overhead; the stats-OFF
+/// number is the contract (transform_* must not regress when no sink is
+/// installed - every count site is then a relaxed null-check), and the
+/// stats-ON delta here is expected to stay in the low single-digit
+/// percents because counting happens at aggregation boundaries.
+void BM_TransformStatsOn(benchmark::State &State, const char *Src) {
+  Program Prog = parsedProgram(Src);
+  DependenceGraph G = computeDependences(Prog);
+  PassStats Stats;
+  setActiveStats(&Stats);
+  for (auto _ : State) {
+    DependenceGraph Copy = G;
+    auto S = computeSchedule(Prog, Copy);
+    benchmark::DoNotOptimize(S.hasValue());
+  }
+  setActiveStats(nullptr);
+  benchmark::DoNotOptimize(Stats.get(Counter::LexMinCalls));
 }
 
 void BM_EndToEnd(benchmark::State &State, const char *Src) {
@@ -196,6 +217,9 @@ int main(int argc, char **argv) {
     benchmark::RegisterBenchmark(
         (std::string("transform/") + K.Name).c_str(),
         [Src = K.Src](benchmark::State &S) { BM_Transform(S, Src); });
+    benchmark::RegisterBenchmark(
+        (std::string("transform_stats_on/") + K.Name).c_str(),
+        [Src = K.Src](benchmark::State &S) { BM_TransformStatsOn(S, Src); });
     benchmark::RegisterBenchmark(
         (std::string("end_to_end_codegen/") + K.Name).c_str(),
         [Src = K.Src](benchmark::State &S) { BM_EndToEnd(S, Src); });

@@ -1,0 +1,8 @@
+for (t = 0; t < T; t++) {
+  for (i = 2; i < N - 1; i++) {
+    b[i] = 0.333 * (a[i - 1] + a[i] + a[i + 1]);
+  }
+  for (j = 2; j < N - 1; j++) {
+    a[j] = b[j];
+  }
+}

@@ -1,0 +1,7 @@
+for (i = 0; i < N; i++) {
+  for (j = 0; j < N; j++) {
+    for (k = 0; k < N; k++) {
+      c[i][j] = c[i][j] + a[i][k] * b[k][j];
+    }
+  }
+}

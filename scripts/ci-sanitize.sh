@@ -17,3 +17,22 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Smoke-run the plutopp CLI under the same sanitizers: full pipeline with
+# diagnostics on (exercises the observe counters/trace allocation paths)
+# and off, plus the error path. Output is discarded; a sanitizer report or
+# unexpected exit status fails the job.
+CLI="$BUILD_DIR/tools/plutopp"
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  "$CLI" --tile --parallel --report=json "$SRC_DIR/examples/matmul.c" \
+    > /dev/null 2> /dev/null
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  "$CLI" --no-tile --no-vectorize --report "$SRC_DIR/examples/jacobi1d.c" \
+    > /dev/null 2> /dev/null
+if ASAN_OPTIONS=abort_on_error=1 "$CLI" /nonexistent.c > /dev/null 2>&1; then
+  echo "ci-sanitize: plutopp accepted a nonexistent input" >&2
+  exit 1
+fi
+echo "ci-sanitize: CLI smoke-run OK"

@@ -238,3 +238,19 @@ void pluto::simplifyAst(CgNodePtr &N) {
   if (N->K == CgNode::Kind::Block && N->Children.size() == 1)
     N = std::move(N->Children[0]);
 }
+
+static void dropNestedParallel(CgNode &N, bool InsideParallel) {
+  if (N.K == CgNode::Kind::Loop && N.Parallel) {
+    if (InsideParallel)
+      N.Parallel = false;
+    else
+      InsideParallel = true;
+  }
+  for (const CgNodePtr &C : N.Children)
+    if (C)
+      dropNestedParallel(*C, InsideParallel);
+}
+
+void pluto::dropNestedParallelPragmas(CgNode &N) {
+  dropNestedParallel(N, /*InsideParallel=*/false);
+}

@@ -98,6 +98,14 @@ struct CgNode {
 /// semantics are unchanged.
 void simplifyAst(CgNodePtr &N);
 
+/// Clears the Parallel flag on every loop nested (along its root-to-leaf
+/// path) inside another Parallel loop, so at most one "#pragma omp parallel
+/// for" appears per nest. The driver requests one pragma row per permutable
+/// band; in subtrees where an outer band's row survives as a real loop the
+/// inner bands' pragmas would otherwise nest. Loops on disjoint paths (e.g.
+/// different pieces of a distributed scalar dimension) keep their pragmas.
+void dropNestedParallelPragmas(CgNode &N);
+
 } // namespace pluto
 
 #endif // PLUTOPP_CODEGEN_AST_H

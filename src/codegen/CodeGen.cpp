@@ -6,6 +6,8 @@
 
 #include "codegen/CodeGen.h"
 
+#include "observe/PassStats.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -493,9 +495,12 @@ private:
       if (Pieces && !orderPieces(*Pieces, Level))
         Pieces.reset();
     }
-    if (!Pieces)
+    if (!Pieces) {
+      count(Counter::CodegenGuardFallbacks);
       return genUnseparatedLoop(Level, Active, Ps, Ctx);
+    }
 
+    count(Counter::CodegenPieces, Pieces->size());
     CgNodePtr Block = CgNode::block();
     for (Piece &P : *Pieces) {
       P.Region.gist(Ctx);
@@ -824,5 +829,8 @@ private:
 Result<CgNodePtr> pluto::generateAst(const Scop &S,
                                      const CodeGenOptions &Opts) {
   Generator G(S, Opts);
-  return G.run();
+  auto Ast = G.run();
+  if (Ast && *Ast)
+    dropNestedParallelPragmas(**Ast);
+  return Ast;
 }

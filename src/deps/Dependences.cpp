@@ -6,6 +6,8 @@
 
 #include "deps/Dependences.h"
 
+#include "observe/PassStats.h"
+
 #include <algorithm>
 #include <functional>
 
@@ -271,6 +273,33 @@ DependenceGraph pluto::computeDependences(const Program &Prog,
   for (std::vector<Dependence> &R : Results)
     for (Dependence &D : R)
       G.Deps.push_back(std::move(D));
+
+  // Edge census, taken serially after the parallel region so collection
+  // never contends with the OpenMP pair loop.
+  if (activeStats()) {
+    count(Counter::DepCandidates, Tasks.size());
+    for (const Dependence &D : G.Deps) {
+      switch (D.Kind) {
+      case DepKind::Flow:
+        count(Counter::DepFlow);
+        break;
+      case DepKind::Anti:
+        count(Counter::DepAnti);
+        break;
+      case DepKind::Output:
+        count(Counter::DepOutput);
+        break;
+      case DepKind::Input:
+        count(Counter::DepInput);
+        break;
+      }
+      if (D.Kind != DepKind::Input) {
+        count(D.CarryLevel == 0 ? Counter::DepLoopIndependent
+                                : Counter::DepCarried);
+        countDepAtLevel(D.CarryLevel);
+      }
+    }
+  }
   return G;
 }
 

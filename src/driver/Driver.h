@@ -69,8 +69,13 @@ Result<PlutoResult> lowerSchedule(ParsedProgram Parsed, DependenceGraph DG,
                                   Schedule Sched, const PlutoOptions &Opts);
 
 /// Builds the untransformed-program AST (identity 2d+1 schedule) for
-/// baseline execution through the same code generator.
-Result<CgNodePtr> buildOriginalAst(const Program &Prog);
+/// baseline execution through the same code generator. The same
+/// `Opts.ParamMin` context assumption optimizeSource applies is added here
+/// too, so original and transformed code are generated under an identical
+/// context (adding it twice is harmless - duplicate context rows
+/// normalize away).
+Result<CgNodePtr> buildOriginalAst(const Program &Prog,
+                                   const PlutoOptions &Opts = PlutoOptions());
 
 } // namespace pluto
 

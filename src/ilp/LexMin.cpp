@@ -28,6 +28,8 @@
 
 #include "ilp/LexMin.h"
 
+#include "observe/PassStats.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -127,6 +129,7 @@ public:
   }
 
   bool aborted() const { return Aborted; }
+  unsigned iterations() const { return Iterations; }
 
 private:
   unsigned NumVars;
@@ -241,23 +244,39 @@ LexMinResult ilp::lexMinNonNeg(const IntMatrix &Ineqs, const IntMatrix &Eqs,
 
   LexMinResult Result;
   Tableau T(Ineqs, Eqs, NumVars);
+  unsigned CutsUsed = 0;
+  // Stats are bulk-added once per call from the tableau's own totals, so
+  // the pivot loop itself stays uninstrumented.
+  auto NoteStats = [&](bool DidAbort) {
+    if (activeStats()) {
+      count(Counter::LexMinCalls);
+      count(Counter::SimplexPivots, T.iterations());
+      count(Counter::GomoryCuts, CutsUsed);
+      if (DidAbort)
+        count(Counter::IlpAborts);
+    }
+  };
   // Cut budget: each round restores feasibility then cuts one fractional
   // coordinate. Structured Pluto systems need a handful of cuts at most.
   for (unsigned Cuts = 0; Cuts <= 2000; ++Cuts) {
     if (!T.dualSimplex()) {
       Result.Status =
           T.aborted() ? SolveStatus::Aborted : SolveStatus::Infeasible;
+      NoteStats(T.aborted());
       return Result;
     }
     int FracRow = T.firstFractionalVarRow();
     if (FracRow < 0) {
       Result.Status = SolveStatus::Feasible;
       Result.Point = T.varValues();
+      NoteStats(false);
       return Result;
     }
     T.addGomoryCut(static_cast<unsigned>(FracRow));
+    ++CutsUsed;
   }
   Result.Status = SolveStatus::Aborted;
+  NoteStats(true);
   return Result;
 }
 

@@ -1,0 +1,153 @@
+//===- observe/PassStats.cpp - Toolchain-wide pass statistics -------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/PassStats.h"
+
+#include "observe/Trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace pluto;
+
+std::atomic<PassStats *> pluto::detail::ActiveStats{nullptr};
+
+const char *pluto::passName(Pass P) {
+  switch (P) {
+  case Pass::Parse:
+    return "parse";
+  case Pass::Deps:
+    return "deps";
+  case Pass::Schedule:
+    return "schedule";
+  case Pass::Tile:
+    return "tile";
+  case Pass::Codegen:
+    return "codegen";
+  case Pass::NumPasses:
+    break;
+  }
+  return "?";
+}
+
+const char *pluto::counterName(Counter C) {
+  switch (C) {
+  case Counter::LexMinCalls:
+    return "lexmin_calls";
+  case Counter::SimplexPivots:
+    return "simplex_pivots";
+  case Counter::GomoryCuts:
+    return "gomory_cuts";
+  case Counter::IlpAborts:
+    return "ilp_aborts";
+  case Counter::FmEliminations:
+    return "fm_eliminations";
+  case Counter::FmRowsGenerated:
+    return "fm_rows_generated";
+  case Counter::FmRowsPruned:
+    return "fm_rows_pruned";
+  case Counter::RedundancyChecks:
+    return "redundancy_checks";
+  case Counter::EmptinessTests:
+    return "emptiness_tests";
+  case Counter::DepCandidates:
+    return "dep_candidates";
+  case Counter::DepFlow:
+    return "dep_flow";
+  case Counter::DepAnti:
+    return "dep_anti";
+  case Counter::DepOutput:
+    return "dep_output";
+  case Counter::DepInput:
+    return "dep_input";
+  case Counter::DepLoopIndependent:
+    return "dep_loop_independent";
+  case Counter::DepCarried:
+    return "dep_carried";
+  case Counter::HyperplanesFound:
+    return "hyperplanes_found";
+  case Counter::SccCuts:
+    return "scc_cuts";
+  case Counter::TextualOrderRows:
+    return "textual_order_rows";
+  case Counter::BandsTiled:
+    return "bands_tiled";
+  case Counter::WavefrontsApplied:
+    return "wavefronts_applied";
+  case Counter::VectorizedLoops:
+    return "vectorized_loops";
+  case Counter::CodegenPieces:
+    return "codegen_pieces";
+  case Counter::CodegenGuardFallbacks:
+    return "codegen_guard_fallbacks";
+  case Counter::LoopsParallel:
+    return "loops_parallel";
+  case Counter::LoopsPipeline:
+    return "loops_pipeline";
+  case Counter::LoopsSequential:
+    return "loops_sequential";
+  case Counter::NumCounters:
+    break;
+  }
+  return "?";
+}
+
+void PassStats::clear() {
+  for (auto &C : Counters)
+    C.store(0, std::memory_order_relaxed);
+  for (auto &L : DepsAtLevel)
+    L.store(0, std::memory_order_relaxed);
+  for (double &S : PassSeconds)
+    S = 0.0;
+}
+
+std::string PassStats::toJson(const Trace *T) const {
+  std::ostringstream OS;
+  OS << "{\n  \"passes\": {";
+  for (unsigned P = 0; P < static_cast<unsigned>(Pass::NumPasses); ++P) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", PassSeconds[P]);
+    OS << (P ? "," : "") << "\n    \"" << passName(static_cast<Pass>(P))
+       << "\": {\"seconds\": " << Buf << "}";
+  }
+  OS << "\n  },\n  \"counters\": {";
+  for (unsigned C = 0; C < static_cast<unsigned>(Counter::NumCounters); ++C)
+    OS << (C ? "," : "") << "\n    \"" << counterName(static_cast<Counter>(C))
+       << "\": " << get(static_cast<Counter>(C));
+  OS << "\n  },\n  \"deps_by_level\": [";
+  for (unsigned L = 0; L < MaxDepLevels; ++L)
+    OS << (L ? ", " : "") << DepsAtLevel[L].load(std::memory_order_relaxed);
+  OS << "]";
+  if (T)
+    OS << ",\n  \"trace\": " << T->toJson();
+  OS << "\n}";
+  return OS.str();
+}
+
+std::string PassStats::toText() const {
+  std::ostringstream OS;
+  OS << "pass timings (seconds):\n";
+  for (unsigned P = 0; P < static_cast<unsigned>(Pass::NumPasses); ++P) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "  %-10s %10.6f\n",
+                  passName(static_cast<Pass>(P)), PassSeconds[P]);
+    OS << Buf;
+  }
+  OS << "counters:\n";
+  for (unsigned C = 0; C < static_cast<unsigned>(Counter::NumCounters); ++C) {
+    uint64_t V = get(static_cast<Counter>(C));
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "  %-24s %12llu\n",
+                  counterName(static_cast<Counter>(C)),
+                  static_cast<unsigned long long>(V));
+    OS << Buf;
+  }
+  OS << "dependence edges by first carry level (0 = loop-independent):\n ";
+  for (unsigned L = 0; L < MaxDepLevels; ++L)
+    OS << " " << DepsAtLevel[L].load(std::memory_order_relaxed);
+  OS << "\n";
+  return OS.str();
+}

@@ -1,0 +1,187 @@
+//===- observe/PassStats.h - Toolchain-wide pass statistics -----*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-run statistics collected across every layer of the toolchain: scoped
+/// wall-clock timers for the five pipeline passes and counters fed by the
+/// ILP core, the polyhedral library, dependence analysis, the transform
+/// framework, tiling and code generation.
+///
+/// Collection is opt-in and zero-overhead when disabled: a single global
+/// `std::atomic<PassStats *>` is consulted with a relaxed load (a plain
+/// load on x86) at every count site, and the site is a no-op when it is
+/// null — which is the default. Counters are atomic because dependence
+/// analysis counts from inside an OpenMP parallel region; everything else
+/// runs serially. Hot loops never count per iteration: instrumentation
+/// sits at aggregation boundaries (end of a lexmin call, end of one FM
+/// elimination step) so the counted quantities are bulk-added.
+///
+/// The JSON schema emitted by toJson() is documented in DESIGN.md section 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_OBSERVE_PASSSTATS_H
+#define PLUTOPP_OBSERVE_PASSSTATS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace pluto {
+
+class Trace;
+
+/// The five pipeline passes timed by the driver (paper Figure 5 stages;
+/// "schedule" is the Pluto ILP transformation, "tile" covers tiling,
+/// wavefronting and intra-tile reordering together).
+enum class Pass : unsigned {
+  Parse,
+  Deps,
+  Schedule,
+  Tile,
+  Codegen,
+  NumPasses,
+};
+
+/// Every counter any layer reports. Grouped by the module that feeds it.
+enum class Counter : unsigned {
+  // ilp/ - lexicographic dual simplex + Gomory cuts.
+  LexMinCalls,
+  SimplexPivots,
+  GomoryCuts,
+  IlpAborts,
+  // poly/ - Fourier-Motzkin core.
+  FmEliminations,  ///< variable eliminations performed via FM combination
+  FmRowsGenerated, ///< lower*upper combinations formed across eliminations
+  FmRowsPruned,    ///< generated rows dropped by inline/Imbert pruning
+  RedundancyChecks,
+  EmptinessTests,
+  // deps/ - dependence analysis.
+  DepCandidates, ///< conflicting access pairs tested
+  DepFlow,
+  DepAnti,
+  DepOutput,
+  DepInput,
+  DepLoopIndependent, ///< edges satisfied only at the textual level
+  DepCarried,         ///< edges carried by some loop level
+  // transform/ - the Pluto algorithm.
+  HyperplanesFound,
+  SccCuts,
+  TextualOrderRows,
+  // tile/ - Algorithms 1 & 2, section 5.4.
+  BandsTiled,
+  WavefrontsApplied,
+  VectorizedLoops,
+  // codegen/ - QRW-style separation.
+  CodegenPieces,
+  CodegenGuardFallbacks,
+  // driver/ - final loop classification of the emitted schedule rows.
+  LoopsParallel,
+  LoopsPipeline,
+  LoopsSequential,
+  NumCounters,
+};
+
+/// Human-readable snake_case name of a counter (the JSON key).
+const char *counterName(Counter C);
+
+/// Name of a pass (the JSON key).
+const char *passName(Pass P);
+
+/// How deep the per-level dependence histogram goes; deeper carry levels
+/// are clamped into the last bucket.
+constexpr unsigned MaxDepLevels = 8;
+
+/// One run's worth of statistics. Instances are plain data; install one
+/// with setActiveStats() to start collecting.
+struct PassStats {
+  std::atomic<uint64_t> Counters[static_cast<unsigned>(Counter::NumCounters)];
+  /// deps-by-depth histogram: bucket 0 = loop-independent, bucket L = edges
+  /// first carried at loop level L (clamped to MaxDepLevels - 1).
+  std::atomic<uint64_t> DepsAtLevel[MaxDepLevels];
+  /// Wall-clock seconds per pass; timers only run in the serial driver.
+  double PassSeconds[static_cast<unsigned>(Pass::NumPasses)];
+
+  PassStats() { clear(); }
+
+  void clear();
+  uint64_t get(Counter C) const {
+    return Counters[static_cast<unsigned>(C)].load(std::memory_order_relaxed);
+  }
+  double seconds(Pass P) const {
+    return PassSeconds[static_cast<unsigned>(P)];
+  }
+
+  /// Serializes this run to the JSON document described in DESIGN.md
+  /// section 8 ({"passes": {...}, "counters": {...}, "deps_by_level": [...],
+  /// "trace": [...]}); the "trace" member is present iff T is non-null.
+  std::string toJson(const Trace *T = nullptr) const;
+
+  /// Human-readable multi-line report (the non-JSON --report form).
+  std::string toText() const;
+};
+
+namespace detail {
+extern std::atomic<PassStats *> ActiveStats;
+} // namespace detail
+
+/// The currently-installed sink, or null when collection is off.
+inline PassStats *activeStats() {
+  return detail::ActiveStats.load(std::memory_order_relaxed);
+}
+
+/// Installs (or, with null, removes) the global statistics sink. Not
+/// thread-safe against concurrent pipeline runs; the driver is serial.
+inline void setActiveStats(PassStats *S) {
+  detail::ActiveStats.store(S, std::memory_order_relaxed);
+}
+
+/// Bulk-adds N to counter C iff collection is on. The disabled path is a
+/// relaxed load + branch.
+inline void count(Counter C, uint64_t N = 1) {
+  if (PassStats *S = activeStats())
+    S->Counters[static_cast<unsigned>(C)].fetch_add(N,
+                                                    std::memory_order_relaxed);
+}
+
+/// Records one dependence edge first carried at Level (0 = loop
+/// independent) in the by-depth histogram.
+inline void countDepAtLevel(unsigned Level) {
+  if (PassStats *S = activeStats()) {
+    unsigned B = Level < MaxDepLevels ? Level : MaxDepLevels - 1;
+    S->DepsAtLevel[B].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// RAII wall-clock timer for one pass; accumulates into the sink that was
+/// active at construction time (so a sink removed mid-pass still gets the
+/// partial time, and a null sink costs one load).
+class ScopedPassTimer {
+public:
+  explicit ScopedPassTimer(Pass P)
+      : P(P), S(activeStats()),
+        Start(S ? std::chrono::steady_clock::now()
+                : std::chrono::steady_clock::time_point()) {}
+  ~ScopedPassTimer() {
+    if (S)
+      S->PassSeconds[static_cast<unsigned>(P)] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+  }
+  ScopedPassTimer(const ScopedPassTimer &) = delete;
+  ScopedPassTimer &operator=(const ScopedPassTimer &) = delete;
+
+private:
+  Pass P;
+  PassStats *S;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace pluto
+
+#endif // PLUTOPP_OBSERVE_PASSSTATS_H

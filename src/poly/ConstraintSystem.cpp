@@ -7,6 +7,7 @@
 #include "poly/ConstraintSystem.h"
 
 #include "ilp/LexMin.h"
+#include "observe/PassStats.h"
 #include "support/LinearAlgebra.h"
 
 #include <algorithm>
@@ -109,10 +110,12 @@ void ConstraintSystem::insertDims(unsigned Pos, unsigned Count) {
 }
 
 bool ConstraintSystem::isIntegerEmpty() const {
+  count(Counter::EmptinessTests);
   return !ilp::hasIntegerPoint(Ineqs, Eqs, NumVars);
 }
 
 bool ConstraintSystem::impliesIneq(const std::vector<BigInt> &Row) const {
+  count(Counter::RedundancyChecks);
   assert(Row.size() == NumVars + 1 && "constraint width mismatch");
   // Implied iff (this AND not Row) is empty; not(a.x + c >= 0) over the
   // integers is -a.x - c - 1 >= 0.
@@ -305,6 +308,13 @@ void ConstraintSystem::eliminateVar(unsigned Var) {
   }
   for (unsigned R = 0; R < Eqs.numRows(); ++R)
     NewEqs.addRow(dropColumn(Eqs.row(R)));
+  if (activeStats()) {
+    uint64_t Generated = static_cast<uint64_t>(None.size()) +
+                         static_cast<uint64_t>(Lower.size()) * Upper.size();
+    count(Counter::FmEliminations);
+    count(Counter::FmRowsGenerated, Generated);
+    count(Counter::FmRowsPruned, Generated - NewIneqs.numRows());
+  }
   Ineqs = std::move(NewIneqs);
   Eqs = std::move(NewEqs);
   --NumVars;
@@ -417,6 +427,7 @@ void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
           It->second = I;
         }
       }
+      size_t PassThrough = Next.size();
       for (const FmRow &L : Lower) {
         for (const FmRow &U : Upper) {
           std::vector<unsigned> Anc = mergeAnc(L.Anc, U.Anc);
@@ -449,6 +460,14 @@ void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
           }
           Next.push_back({std::move(Coef), std::move(Anc)});
         }
+      }
+      if (activeStats()) {
+        uint64_t Generated =
+            static_cast<uint64_t>(Lower.size()) * Upper.size();
+        count(Counter::FmEliminations);
+        count(Counter::FmRowsGenerated, Generated);
+        count(Counter::FmRowsPruned,
+              Generated - (Next.size() - PassThrough));
       }
       Rows = std::move(Next);
     }

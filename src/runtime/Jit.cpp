@@ -6,9 +6,11 @@
 
 #include "runtime/Jit.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <dlfcn.h>
+#include <filesystem>
 #include <fstream>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -45,10 +47,9 @@ void CompiledKernel::reset() {
   Handle = nullptr;
   Fn = nullptr;
   if (!Dir.empty()) {
-    std::string Cmd = "rm -rf '" + Dir + "'";
-    if (system(Cmd.c_str()) != 0) {
-      // Best-effort cleanup; leaking a temp dir is not an error.
-    }
+    // Best-effort cleanup; leaking a temp dir is not an error.
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
     Dir.clear();
   }
 }
@@ -66,10 +67,17 @@ Result<CompiledKernel> CompiledKernel::compile(
   if (!compilerAvailable())
     return Err(std::string("no C compiler ('cc') found on this host"));
 
-  char Template[] = "/tmp/plutopp-XXXXXX";
-  char *DirC = mkdtemp(Template);
+  // Honor TMPDIR (the POSIX convention) with /tmp as the fallback.
+  const char *TmpBase = std::getenv("TMPDIR");
+  if (!TmpBase || !*TmpBase)
+    TmpBase = "/tmp";
+  std::string Template = std::string(TmpBase);
+  if (Template.back() == '/')
+    Template.pop_back();
+  Template += "/plutopp-XXXXXX";
+  char *DirC = mkdtemp(Template.data());
   if (!DirC)
-    return Err(std::string("mkdtemp failed"));
+    return Err("mkdtemp failed in '" + std::string(TmpBase) + "'");
   CompiledKernel K;
   K.Dir = DirC;
 
@@ -93,8 +101,13 @@ Result<CompiledKernel> CompiledKernel::compile(
     return Err("compilation of generated code failed:\n" + Msg);
   }
   K.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!K.Handle)
-    return Err("dlopen failed: " + std::string(dlerror()));
+  if (!K.Handle) {
+    // dlerror() may legitimately return null (e.g. cleared by a racing
+    // dlopen); never construct a std::string from it unchecked.
+    const char *DlMsg = dlerror();
+    return Err("dlopen failed: " +
+               std::string(DlMsg ? DlMsg : "(no dlerror message)"));
+  }
   std::string Entry = FuncName + "_entry";
   K.Fn = dlsym(K.Handle, Entry.c_str());
   if (!K.Fn)

@@ -53,6 +53,10 @@ public:
 
   bool valid() const { return Fn != nullptr; }
 
+  /// The temporary build directory backing this kernel (empty when
+  /// invalid). Exposed for tests that check TMPDIR is honored.
+  const std::string &dir() const { return Dir; }
+
 private:
   void *Handle = nullptr;
   void *Fn = nullptr;

@@ -6,6 +6,9 @@
 
 #include "tile/Tiling.h"
 
+#include "observe/PassStats.h"
+#include "observe/Trace.h"
+
 #include <algorithm>
 
 using namespace pluto;
@@ -89,6 +92,15 @@ Schedule::Band pluto::tileBand(Scop &S, const Schedule::Band &Band,
   TileBand.Width = K;
   for (unsigned J = 0; J < K; ++J)
     TileBand.HasSequentialRow |= !S.Rows[Start + J].IsParallel;
+  count(Counter::BandsTiled);
+  if (Trace *T = activeTrace()) {
+    std::string Sizes;
+    for (unsigned J = 0; J < K; ++J)
+      Sizes += (J ? "x" : "") + std::to_string(TileSizes[J]);
+    T->record("tile", "tiled band of width " + std::to_string(K) +
+                          " at row " + std::to_string(Start) +
+                          " with tile sizes " + Sizes);
+  }
   return TileBand;
 }
 
@@ -128,6 +140,12 @@ bool pluto::wavefrontBand(Scop &S, const Schedule::Band &Band,
   for (unsigned J = 1; J <= M; ++J)
     S.Rows[Band.Start + J].IsParallel = true;
   S.Rows[Band.Start].IsParallel = false;
+  count(Counter::WavefrontsApplied);
+  if (Trace *T = activeTrace())
+    T->record("tile", "wavefronted tile band at row " +
+                          std::to_string(Band.Start) + " (" +
+                          std::to_string(M) +
+                          " degree(s) of pipelined parallelism)");
   return true;
 }
 
@@ -158,5 +176,10 @@ bool pluto::reorderForVectorization(Scop &S) {
     std::swap(S.Rows[R], S.Rows[R + 1]);
   }
   S.Rows[End - 1].IsVector = true;
+  count(Counter::VectorizedLoops);
+  if (Trace *T = activeTrace())
+    T->record("tile", "rotated parallel row " + std::to_string(P) +
+                          " innermost (row " + std::to_string(End - 1) +
+                          ") for vectorization");
   return true;
 }

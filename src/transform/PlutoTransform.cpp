@@ -7,6 +7,8 @@
 #include "transform/PlutoTransform.h"
 
 #include "ilp/LexMin.h"
+#include "observe/PassStats.h"
+#include "observe/Trace.h"
 #include "support/LinearAlgebra.h"
 #include "transform/FarkasConstraints.h"
 
@@ -284,6 +286,20 @@ private:
     Info.BandId = CurBandId;
     Sched.Rows.push_back(Info);
     updateSatisfaction(Sched.numRows() - 1);
+    count(Counter::HyperplanesFound);
+    if (Trace *T = activeTrace()) {
+      std::string Msg = "row " + std::to_string(Sched.numRows() - 1) +
+                        " (band " + std::to_string(CurBandId) + "):";
+      for (unsigned S = 0; S < Prog.Stmts.size(); ++S) {
+        Msg += " S" + std::to_string(S) + "=[";
+        const IntMatrix &M = Sched.StmtRows[S];
+        for (unsigned C = 0; C < M.numCols(); ++C)
+          Msg += std::string(C ? " " : "") +
+                 M(Sched.numRows() - 1, C).toString();
+        Msg += "]";
+      }
+      T->record("transform", std::move(Msg));
+    }
     if (debugEnabled()) {
       fprintf(stderr, "[pluto] row %u (band %d):", Sched.numRows() - 1,
               CurBandId);
@@ -323,6 +339,12 @@ private:
     if (NumScc > 1) {
       appendScalarRow(Scc);
       startNewBand();
+      count(Counter::SccCuts);
+      if (Trace *T = activeTrace())
+        T->record("transform",
+                  "no hyperplane: cut into " + std::to_string(NumScc) +
+                      " SCCs with a scalar dimension (row " +
+                      std::to_string(Sched.numRows() - 1) + ")");
       return true;
     }
     // Single SCC: progress is only possible if this band satisfied
@@ -335,6 +357,10 @@ private:
     if (!Retired)
       return false;
     startNewBand();
+    if (Trace *T = activeTrace())
+      T->record("transform",
+                "single SCC: retired satisfied dependences, new band at row " +
+                    std::to_string(Sched.numRows()));
     return true;
   }
 
@@ -368,6 +394,10 @@ private:
   void appendTextualOrderRow() {
     pluto::appendTextualOrderRow(Prog, Sched);
     updateSatisfaction(Sched.numRows() - 1);
+    count(Counter::TextualOrderRows);
+    if (Trace *T = activeTrace())
+      T->record("transform", "appended textual-order scalar row " +
+                                 std::to_string(Sched.numRows() - 1));
   }
 };
 

@@ -1,0 +1,311 @@
+//===- tests/cli_test.cpp - plutopp CLI end-to-end tests ------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// Drives the installed tools/plutopp binary as a subprocess on the
+// examples/ kernels: exit codes, emitted-C shape (and that it compiles,
+// when a system compiler exists), and the --report=json document.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Jit.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#ifndef PLUTOPP_CLI_PATH
+#error "PLUTOPP_CLI_PATH must be defined by the build"
+#endif
+#ifndef PLUTOPP_EXAMPLES_DIR
+#error "PLUTOPP_EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stdout;
+};
+
+/// Runs `PLUTOPP_CLI_PATH <args>` capturing stdout; stderr goes to the
+/// test log. popen gives no portable stderr capture, so tests that need
+/// the report use --out (which moves the report to stdout).
+RunResult runCli(const std::string &Args) {
+  RunResult R;
+  std::string Cmd = std::string(PLUTOPP_CLI_PATH) + " " + Args;
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), P)) > 0)
+    R.Stdout.append(Buf.data(), N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string examplePath(const std::string &Name) {
+  return std::string(PLUTOPP_EXAMPLES_DIR) + "/" + Name;
+}
+
+std::string tempPath(const std::string &Suffix) {
+  const char *Tmp = std::getenv("TMPDIR");
+  std::string Dir = (Tmp && *Tmp) ? Tmp : "/tmp";
+  return Dir + "/plutopp_cli_test_" + std::to_string(getpid()) + Suffix;
+}
+
+//===----------------------------------------------------------------------===//
+// A minimal recursive-descent JSON validator: enough to check the report
+// is well-formed and to read top-level numeric fields.
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\n' ||
+                              S[Pos] == '\t' || S[Pos] == '\r'))
+      ++Pos;
+  }
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != '}')
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != ']')
+      return false;
+    ++Pos;
+    return true;
+  }
+};
+
+/// Reads the numeric value following `"Key": ` (first occurrence).
+double numberAfterKey(const std::string &J, const std::string &Key) {
+  size_t At = J.find("\"" + Key + "\": ");
+  if (At == std::string::npos)
+    return -1.0;
+  return std::atof(J.c_str() + At + Key.size() + 4);
+}
+
+TEST(CliTest, EmitsParallelOpenMpC) {
+  for (const char *K : {"matmul.c", "jacobi1d.c", "lu.c", "mvt.c",
+                        "seidel2d.c"}) {
+    RunResult R = runCli("--tile --parallel " + examplePath(K));
+    EXPECT_EQ(R.ExitCode, 0) << K;
+    EXPECT_NE(R.Stdout.find("for ("), std::string::npos) << K;
+    EXPECT_NE(R.Stdout.find("#pragma omp parallel for"), std::string::npos)
+        << K;
+  }
+}
+
+TEST(CliTest, NoParallelSuppressesPragmas) {
+  RunResult R = runCli("--no-parallel " + examplePath("matmul.c"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stdout.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(CliTest, ErrorExitCodes) {
+  EXPECT_EQ(runCli("/nonexistent/input.c").ExitCode, 1);
+  EXPECT_EQ(runCli("--frobnicate " + examplePath("matmul.c")).ExitCode, 1);
+  EXPECT_EQ(runCli("--tile-size=0 " + examplePath("matmul.c")).ExitCode, 1);
+  // Invalid restricted-C input is a diagnostic + exit 1.
+  std::string Bad = tempPath("_bad.c");
+  {
+    std::ofstream Out(Bad);
+    Out << "while (1) { a[i] = 0.0; }\n";
+  }
+  EXPECT_EQ(runCli(Bad).ExitCode, 1);
+  std::remove(Bad.c_str());
+  EXPECT_EQ(runCli("--help").ExitCode, 0);
+}
+
+TEST(CliTest, OutFlagWritesFileAndFreesStdout) {
+  std::string Out = tempPath("_matmul_tiled.c");
+  RunResult R = runCli("--out=" + Out + " " + examplePath("matmul.c"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stdout, ""); // No report requested: stdout stays empty.
+  std::ifstream In(Out);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_NE(SS.str().find("#pragma omp parallel for"), std::string::npos);
+  std::remove(Out.c_str());
+}
+
+TEST(CliTest, ReportJsonIsWellFormedWithLivePassData) {
+  std::string Out = tempPath("_report_kernel.c");
+  RunResult R = runCli("--tile --parallel --report=json --out=" + Out +
+                       " " + examplePath("matmul.c"));
+  ASSERT_EQ(R.ExitCode, 0);
+  std::remove(Out.c_str());
+  const std::string &J = R.Stdout;
+
+  ASSERT_TRUE(JsonChecker(J).valid()) << J;
+  // The documented members.
+  for (const char *Key : {"passes", "counters", "deps_by_level", "trace"})
+    EXPECT_NE(J.find(std::string("\"") + Key + "\""), std::string::npos)
+        << Key;
+  // Non-zero timers for all five passes.
+  for (const char *P : {"parse", "deps", "schedule", "tile", "codegen"}) {
+    size_t At = J.find(std::string("\"") + P + "\": {\"seconds\": ");
+    ASSERT_NE(At, std::string::npos) << P;
+    EXPECT_GT(std::atof(J.c_str() + At + std::strlen(P) + 16), 0.0) << P;
+  }
+  // Non-zero counters from every instrumented layer.
+  for (const char *C : {"lexmin_calls", "simplex_pivots", "fm_eliminations",
+                        "dep_candidates", "hyperplanes_found", "bands_tiled",
+                        "loops_parallel"})
+    EXPECT_GT(numberAfterKey(J, C), 0.0) << C;
+}
+
+TEST(CliTest, ReportTextListsPassesAndTrace) {
+  std::string Out = tempPath("_report_text.c");
+  RunResult R = runCli("--report --out=" + Out + " " +
+                       examplePath("jacobi1d.c"));
+  ASSERT_EQ(R.ExitCode, 0);
+  std::remove(Out.c_str());
+  EXPECT_NE(R.Stdout.find("pass timings"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("decision trace:"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("[transform]"), std::string::npos);
+}
+
+TEST(CliTest, EmittedCodeCompiles) {
+  if (!pluto::CompiledKernel::compilerAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  for (const char *K : {"matmul.c", "jacobi1d.c", "lu.c"}) {
+    std::string Out = tempPath(std::string("_cc_") + K);
+    RunResult R = runCli("--tile --parallel --out=" + Out + " " +
+                         examplePath(K));
+    ASSERT_EQ(R.ExitCode, 0) << K;
+    std::string Obj = Out + ".o";
+    std::string Cmd = "cc -fopenmp -std=c99 -c -o '" + Obj + "' '" + Out +
+                      "' > /dev/null 2>&1";
+    EXPECT_EQ(system(Cmd.c_str()), 0) << K;
+    std::remove(Out.c_str());
+    std::remove(Obj.c_str());
+  }
+}
+
+} // namespace

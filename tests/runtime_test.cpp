@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sys/stat.h>
+#include <unistd.h>
+
 using namespace pluto;
 
 namespace {
@@ -128,6 +132,37 @@ TEST(JitTest, CompileAndRunMatMul) {
         Want += A[I * N + L] * B[L * N + J];
       EXPECT_DOUBLE_EQ(C[I * N + J], Want) << I << "," << J;
     }
+}
+
+TEST(JitTest, HonorsTmpdirAndCleansUpWithoutShell) {
+  if (!CompiledKernel::compilerAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  // Point TMPDIR at a fresh directory (with a trailing slash, which the
+  // JIT must tolerate) and check the kernel builds inside it and that its
+  // temp dir is removed on destruction.
+  char Base[] = "/tmp/plutopp-tmpdir-XXXXXX";
+  ASSERT_NE(mkdtemp(Base), nullptr);
+  std::string BaseDir = Base;
+  ASSERT_EQ(setenv("TMPDIR", (BaseDir + "/").c_str(), 1), 0);
+  std::string KernelDir;
+  {
+    auto K = CompiledKernel::compile(
+        "void kernel_entry(double **a, const long long *p, const double *c)"
+        " { (void)a; (void)p; (void)c; }");
+    unsetenv("TMPDIR");
+    ASSERT_TRUE(K) << (K ? "" : K.error());
+    KernelDir = K->dir();
+    EXPECT_EQ(KernelDir.rfind(BaseDir + "/plutopp-", 0), 0u) << KernelDir;
+    struct stat St;
+    EXPECT_EQ(stat(KernelDir.c_str(), &St), 0);
+    EXPECT_TRUE(S_ISDIR(St.st_mode));
+  }
+  // reset() ran in the destructor: the kernel dir is gone, the TMPDIR
+  // directory itself untouched.
+  struct stat St;
+  EXPECT_NE(stat(KernelDir.c_str(), &St), 0);
+  EXPECT_EQ(stat(BaseDir.c_str(), &St), 0);
+  rmdir(Base);
 }
 
 TEST(JitTest, CompileErrorIsReported) {
