@@ -17,8 +17,11 @@
 #include "driver/Kernels.h"
 #include "ilp/LexMin.h"
 #include "observe/PassStats.h"
+#include "service/Batch.h"
+#include "service/Pipeline.h"
 
 #include <benchmark/benchmark.h>
+#include <memory>
 
 using namespace pluto;
 
@@ -204,6 +207,42 @@ void BM_BigIntBigOps(benchmark::State &State) {
   }
 }
 
+std::vector<CompileJob> kernelCorpus() {
+  std::vector<CompileJob> Jobs;
+  for (const NamedKernel &K : Kernels)
+    Jobs.push_back({K.Name, K.Src});
+  return Jobs;
+}
+
+/// Cold compilation of the whole kernel corpus through the service layer
+/// (fresh cache every iteration): the baseline the warm number divides.
+void BM_ServiceBatchCold(benchmark::State &State, unsigned Threads) {
+  std::vector<CompileJob> Jobs = kernelCorpus();
+  for (auto _ : State) {
+    BatchOptions BO;
+    BO.Jobs = Threads;
+    BO.Cache = std::make_shared<ResultCache>();
+    auto R = compileBatch(Jobs, PlutoOptions(), BO);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+
+/// Warm-cache recompilation of the corpus: every unit served by key
+/// lookup. The acceptance bar is >= 10x faster than batch_cold (in
+/// practice it is orders of magnitude).
+void BM_ServiceBatchWarm(benchmark::State &State) {
+  std::vector<CompileJob> Jobs = kernelCorpus();
+  BatchOptions BO;
+  BO.Cache = std::make_shared<ResultCache>();
+  auto Seed = compileBatch(Jobs, PlutoOptions(), BO); // populate once
+  assert(Seed.hasValue());
+  benchmark::DoNotOptimize(Seed.hasValue());
+  for (auto _ : State) {
+    auto R = compileBatch(Jobs, PlutoOptions(), BO);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -234,6 +273,13 @@ int main(int argc, char **argv) {
           BM_DependencesThreads(S, Src, 0);
         });
   }
+  benchmark::RegisterBenchmark(
+      "service/batch_cold",
+      [](benchmark::State &S) { BM_ServiceBatchCold(S, 1); });
+  benchmark::RegisterBenchmark(
+      "service/batch_cold_jobs4",
+      [](benchmark::State &S) { BM_ServiceBatchCold(S, 4); });
+  benchmark::RegisterBenchmark("service/batch_warm", BM_ServiceBatchWarm);
   benchmark::RegisterBenchmark("substrate/lexmin_small", BM_LexMinSmall);
   benchmark::RegisterBenchmark("substrate/fourier_motzkin",
                                BM_FourierMotzkin);

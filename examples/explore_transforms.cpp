@@ -85,7 +85,9 @@ int main() {
     Opts.Tile = C.TileSize > 0;
     Opts.TileSize = C.TileSize ? C.TileSize : 32;
     Opts.Parallelize = C.Parallel;
-    Opts.WavefrontDegrees = C.Degrees;
+    // Degrees only matters with Parallelize on; keep the options valid
+    // (validate() rejects zero) for the non-parallel configs.
+    Opts.WavefrontDegrees = C.Degrees ? C.Degrees : 1;
     Opts.IncludeInputDeps = false;
     DependenceGraph Copy = DG;
     auto R = lowerSchedule(*Parsed, std::move(Copy), *Sched, Opts);

@@ -35,4 +35,31 @@ if ASAN_OPTIONS=abort_on_error=1 "$CLI" /nonexistent.c > /dev/null 2>&1; then
   echo "ci-sanitize: plutopp accepted a nonexistent input" >&2
   exit 1
 fi
-echo "ci-sanitize: CLI smoke-run OK"
+if ASAN_OPTIONS=abort_on_error=1 "$CLI" --tile-size=0 \
+    "$SRC_DIR/examples/matmul.c" > /dev/null 2>&1; then
+  echo "ci-sanitize: plutopp accepted --tile-size=0" >&2
+  exit 1
+fi
+
+# Service-layer smoke run: the whole examples/ corpus as a concurrent
+# batch (--jobs=4), twice against one persistent --cache-dir. The first
+# run exercises the thread pool + cold compiles + disk writes, the second
+# the concurrent disk/memory hit paths; both run under ASan+UBSan, and the
+# two runs' outputs must be byte-identical (the cache determinism
+# contract).
+CACHE_DIR="$BUILD_DIR/ci-cache"
+OUT1="$BUILD_DIR/ci-out1"
+OUT2="$BUILD_DIR/ci-out2"
+rm -rf "$CACHE_DIR" "$OUT1" "$OUT2"
+for OUT in "$OUT1" "$OUT2"; do
+  ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    "$CLI" --jobs=4 --cache-dir="$CACHE_DIR" --out-dir="$OUT" \
+      "$SRC_DIR"/examples/*.c > /dev/null
+done
+if ! diff -r "$OUT1" "$OUT2" > /dev/null; then
+  echo "ci-sanitize: warm-cache output differs from cold compile" >&2
+  exit 1
+fi
+rm -rf "$CACHE_DIR" "$OUT1" "$OUT2"
+echo "ci-sanitize: CLI + service smoke-run OK"

@@ -1,202 +1,92 @@
-//===- driver/Driver.cpp - One-shot optimization pipeline -----------------===//
+//===- driver/Driver.cpp - Compatibility shims over Pipeline --------------===//
 //
 // Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// The stage implementations live in service/Pipeline.cpp; this file keeps
+// the pre-service free-function API alive as thin wrappers and implements
+// the PlutoOptions contract (validate / equality / fingerprint) they and
+// the service layer share.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 
-#include "observe/PassStats.h"
-#include "observe/Trace.h"
+#include "service/Pipeline.h"
+
+#include <sstream>
 
 using namespace pluto;
 
-/// Chooses the pragma row inside one run of schedule rows [Start, End):
-/// the outermost parallel loop row, preferring one that is not the
-/// vectorized row when possible. Returns -1 when the run has none.
-static int pickPragmaRow(const Scop &Sc, unsigned Start, unsigned End) {
-  int First = -1, FirstNonVector = -1;
-  for (unsigned Row = Start; Row < End; ++Row) {
-    if (Sc.Rows[Row].IsScalar || !Sc.Rows[Row].IsParallel)
-      continue;
-    if (First < 0)
-      First = static_cast<int>(Row);
-    if (FirstNonVector < 0 && !Sc.Rows[Row].IsVector)
-      FirstNonVector = static_cast<int>(Row);
-  }
-  return FirstNonVector >= 0 ? FirstNonVector : First;
+Result<bool> PlutoOptions::validate() const {
+  if (TileSize == 0)
+    return Err("invalid options: tile size must be positive (--tile-size)");
+  if (L2TileSize == 0)
+    return Err(
+        "invalid options: L2 tile size must be positive (--l2tile-size)");
+  if (WavefrontDegrees == 0)
+    return Err("invalid options: wavefront degrees must be positive");
+  if (ParamMin < 0)
+    return Err("invalid options: parameter lower bound must be non-negative "
+               "(--param-min)");
+  if (CG.MaxPieces == 0)
+    return Err("invalid options: codegen piece cap must be positive");
+  return true;
 }
 
-/// Parallel pragma placement: one pragma row per permutable band (plus any
-/// band-less row runs a forced schedule may carry), not one globally. With
-/// multiple bands - every post-SCC-cut or tiled schedule - a single global
-/// pick would leave later bands' parallel loops without a pragma in the
-/// subtrees where the picked row is equality-determined (a Let, not a
-/// loop). Nested picks are legal: codegen keeps only the outermost pragma
-/// on each root-to-leaf path (dropNestedParallelPragmas).
-static void pickParallelPragmaRows(const Scop &Sc, CodeGenOptions &CG) {
-  std::vector<bool> Covered(Sc.numRows(), false);
-  for (const Schedule::Band &B : Sc.bands()) {
-    for (unsigned Row = B.Start; Row < B.Start + B.Width; ++Row)
-      Covered[Row] = true;
-    int Pick = pickPragmaRow(Sc, B.Start, B.Start + B.Width);
-    if (Pick >= 0)
-      CG.ParallelPragmaRows.insert(static_cast<unsigned>(Pick));
-  }
-  // Rows outside every band (forced schedules with no band metadata):
-  // treat each maximal run of uncovered non-scalar rows as a band.
-  for (unsigned Row = 0; Row < Sc.numRows(); ++Row) {
-    if (Covered[Row] || Sc.Rows[Row].IsScalar)
-      continue;
-    unsigned End = Row;
-    while (End < Sc.numRows() && !Covered[End] && !Sc.Rows[End].IsScalar)
-      ++End;
-    int Pick = pickPragmaRow(Sc, Row, End);
-    if (Pick >= 0)
-      CG.ParallelPragmaRows.insert(static_cast<unsigned>(Pick));
-    Row = End;
-  }
+bool PlutoOptions::operator==(const PlutoOptions &O) const {
+  return Tile == O.Tile && TileSize == O.TileSize &&
+         SecondLevelTile == O.SecondLevelTile && L2TileSize == O.L2TileSize &&
+         Parallelize == O.Parallelize &&
+         WavefrontDegrees == O.WavefrontDegrees && Vectorize == O.Vectorize &&
+         IncludeInputDeps == O.IncludeInputDeps && ParamMin == O.ParamMin &&
+         CG.MaxPieces == O.CG.MaxPieces &&
+         CG.EnableSeparation == O.CG.EnableSeparation &&
+         CG.ParallelPragmaRows == O.CG.ParallelPragmaRows;
 }
 
-/// Final per-row loop classification for the report: parallel rows are
-/// communication-free parallel loops; a sequential row sharing a band with
-/// a parallel row is the pipelined (wavefront) direction; everything else
-/// is sequential. Scalar rows are not loops.
-static void classifyLoops(const Scop &Sc) {
-  Trace *T = activeTrace();
-  if (!activeStats() && !T)
-    return;
-  std::vector<bool> InParallelBand(Sc.numRows(), false);
-  for (const Schedule::Band &B : Sc.bands()) {
-    bool AnyParallel = false;
-    for (unsigned Row = B.Start; Row < B.Start + B.Width; ++Row)
-      AnyParallel |= Sc.Rows[Row].IsParallel;
-    for (unsigned Row = B.Start; Row < B.Start + B.Width; ++Row)
-      InParallelBand[Row] = AnyParallel;
+std::string PlutoOptions::fingerprint() const {
+  // Canonical key=value encoding of every output-affecting field, in a
+  // fixed order. The encoding itself is the fingerprint (it is short and
+  // diffable in logs); the service layer hashes it together with the
+  // canonical source into the cache key.
+  std::ostringstream OS;
+  OS << "tile=" << Tile << ";tile_size=" << TileSize
+     << ";l2tile=" << SecondLevelTile << ";l2tile_size=" << L2TileSize
+     << ";parallel=" << Parallelize
+     << ";wavefront_degrees=" << WavefrontDegrees
+     << ";vectorize=" << Vectorize << ";input_deps=" << IncludeInputDeps
+     << ";param_min=" << ParamMin << ";cg_max_pieces=" << CG.MaxPieces
+     << ";cg_separation=" << CG.EnableSeparation << ";cg_pragma_rows=";
+  bool First = true;
+  for (unsigned Row : CG.ParallelPragmaRows) {
+    OS << (First ? "" : ",") << Row;
+    First = false;
   }
-  for (unsigned Row = 0; Row < Sc.numRows(); ++Row) {
-    if (Sc.Rows[Row].IsScalar)
-      continue;
-    const char *Class;
-    if (Sc.Rows[Row].IsParallel) {
-      count(Counter::LoopsParallel);
-      Class = "parallel";
-    } else if (InParallelBand[Row]) {
-      count(Counter::LoopsPipeline);
-      Class = "pipeline";
-    } else {
-      count(Counter::LoopsSequential);
-      Class = "sequential";
-    }
-    if (T)
-      T->record("driver", "row " + std::to_string(Row) + ": " + Class +
-                              (Sc.Rows[Row].IsVector ? " (vectorized)" : ""));
-  }
+  return OS.str();
+}
+
+Result<PlutoResult> pluto::optimizeSource(const std::string &Source,
+                                          const PlutoOptions &Opts) {
+  auto P = Pipeline::create(Opts);
+  if (!P)
+    return Err(P.error());
+  P->setSource(Source);
+  return P->takeLowered();
 }
 
 Result<PlutoResult> pluto::lowerSchedule(ParsedProgram Parsed,
                                          DependenceGraph DG, Schedule Sched,
                                          const PlutoOptions &Opts) {
-  PlutoResult R;
-  R.Parsed = std::move(Parsed);
-  R.DG = std::move(DG);
-  R.Sched = std::move(Sched);
-
-  {
-    ScopedPassTimer Timer(Pass::Tile);
-    R.Sc = buildScop(R.Parsed.Prog, R.Sched);
-
-    if (Opts.Tile) {
-      std::vector<Schedule::Band> TileBands =
-          tileAllBands(R.Sc, Opts.TileSize, /*MinWidth=*/2);
-      if (Opts.SecondLevelTile) {
-        // Tile the tile-space bands again, innermost (largest start) first so
-        // recorded starts stay valid while rows are inserted.
-        for (auto It = TileBands.rbegin(); It != TileBands.rend(); ++It) {
-          std::vector<unsigned> Sizes(It->Width, Opts.L2TileSize);
-          tileBand(R.Sc, *It, Sizes);
-        }
-      }
-    }
-
-    if (Opts.Parallelize && Opts.Tile) {
-      // Wavefront the outermost TILE band when it lacks a parallel loop
-      // (Algorithm 2). The wavefront is a tile-space transformation: applied
-      // to untiled point loops it would serialize along a diagonal with poor
-      // locality, so without tiling we rely on existing parallel rows only.
-      std::vector<Schedule::Band> Bands = R.Sc.bands();
-      if (!Bands.empty())
-        wavefrontBand(R.Sc, Bands.front(), Opts.WavefrontDegrees);
-    }
-
-    if (Opts.Vectorize)
-      reorderForVectorization(R.Sc);
-  }
-
-  CodeGenOptions CG = Opts.CG;
-  if (Opts.Parallelize && CG.ParallelPragmaRows.empty()) {
-    pickParallelPragmaRows(R.Sc, CG);
-    if (Trace *T = activeTrace())
-      for (unsigned Row : CG.ParallelPragmaRows)
-        T->record("driver",
-                  "omp parallel for pragma on row " + std::to_string(Row));
-  }
-  classifyLoops(R.Sc);
-
-  ScopedPassTimer Timer(Pass::Codegen);
-  auto Ast = generateAst(R.Sc, CG);
-  if (!Ast)
-    return Err(Ast.error());
-  R.Ast = std::move(*Ast);
-  simplifyAst(R.Ast);
-  return R;
-}
-
-Result<PlutoResult> pluto::optimizeSource(const std::string &Source,
-                                          const PlutoOptions &Opts) {
-  Result<ParsedProgram> Parsed = [&] {
-    ScopedPassTimer Timer(Pass::Parse);
-    return parseSource(Source);
-  }();
-  if (!Parsed)
-    return Err(Parsed.error());
-  for (const std::string &P : Parsed->Prog.ParamNames)
-    Parsed->Prog.addContextBound(P, Opts.ParamMin);
-
-  DepOptions DO;
-  DO.IncludeInputDeps = Opts.IncludeInputDeps;
-  DependenceGraph DG = [&] {
-    ScopedPassTimer Timer(Pass::Deps);
-    return computeDependences(Parsed->Prog, DO);
-  }();
-
-  auto Sched = [&] {
-    ScopedPassTimer Timer(Pass::Schedule);
-    return computeSchedule(Parsed->Prog, DG);
-  }();
-  if (!Sched)
-    return Err(Sched.error());
-
-  return lowerSchedule(std::move(*Parsed), std::move(DG), std::move(*Sched),
-                       Opts);
+  auto P = Pipeline::create(Opts);
+  if (!P)
+    return Err(P.error());
+  return P->lowerSchedule(std::move(Parsed), std::move(DG), std::move(Sched));
 }
 
 Result<CgNodePtr> pluto::buildOriginalAst(const Program &Prog,
                                           const PlutoOptions &Opts) {
-  // Apply the same context assumption the optimizing path uses, so the
-  // reference AST is specialized for an identical parameter space. The
-  // caller's program may already carry the bounds (optimizeSource adds
-  // them in place); normalize() collapses the duplicates.
-  Program Bounded = Prog;
-  for (const std::string &P : Bounded.ParamNames)
-    Bounded.addContextBound(P, Opts.ParamMin);
-  Bounded.Context.normalize();
-  Schedule Ident = identitySchedule(Bounded);
-  Scop Sc = buildScop(Bounded, Ident);
-  CodeGenOptions CG;
-  auto Ast = generateAst(Sc, CG);
-  if (!Ast)
-    return Ast;
-  simplifyAst(*Ast);
-  return Ast;
+  auto P = Pipeline::create(Opts);
+  if (!P)
+    return Err(P.error());
+  return P->originalAst(Prog);
 }

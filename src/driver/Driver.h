@@ -1,15 +1,21 @@
-//===- driver/Driver.h - One-shot optimization pipeline ---------*- C++-*-===//
+//===- driver/Driver.h - Pipeline options and one-shot shims ----*- C++-*-===//
 //
 // Part of plutopp, a reproduction of the PLDI'08 Pluto system.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The end-to-end source-to-source pipeline (paper Figure 5): parse ->
-/// dependence analysis -> Pluto transformation -> tiling -> wavefront ->
-/// intra-tile reordering -> code generation. This is the public entry point
-/// a downstream user calls; individual stages remain available for tools
-/// that need finer control (e.g. forcing comparison transformations).
+/// Options and result types for the end-to-end source-to-source pipeline
+/// (paper Figure 5): parse -> dependence analysis -> Pluto transformation
+/// -> tiling -> wavefront -> intra-tile reordering -> code generation.
+///
+/// The documented public entry point is `pluto::Pipeline`
+/// (service/Pipeline.h): a session object that validates and fingerprints
+/// its PlutoOptions once, exposes every stage with memoized intermediate
+/// artifacts, and plugs into the content-addressed result cache and the
+/// concurrent batch driver (service/Batch.h). The three free functions
+/// below predate the service layer and are kept as thin compatibility
+/// shims over Pipeline; new code should construct a Pipeline directly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +31,9 @@
 
 namespace pluto {
 
-/// Options for the one-shot pipeline.
+/// Options for the optimization pipeline. Construct, adjust fields, then
+/// hand to Pipeline::create(), which rejects invalid combinations via
+/// validate(); the one-shot shims below validate the same way.
 struct PlutoOptions {
   /// Tile every permutable band of width >= 2 (Algorithm 1).
   bool Tile = true;
@@ -45,6 +53,23 @@ struct PlutoOptions {
   /// Context assumption added for every parameter: p >= ParamMin.
   long long ParamMin = 4;
   CodeGenOptions CG;
+
+  /// Checks the option set for values the pipeline cannot lower (zero tile
+  /// sizes would build degenerate supernodes, zero wavefront degrees an
+  /// empty wavefront, a negative ParamMin an unintended context). Returns
+  /// true on success, an error message naming the offending field
+  /// otherwise.
+  Result<bool> validate() const;
+
+  /// Field-wise equality (including codegen options).
+  bool operator==(const PlutoOptions &O) const;
+  bool operator!=(const PlutoOptions &O) const { return !(*this == O); }
+
+  /// Stable, human-readable canonical encoding of every field that can
+  /// affect pipeline output. Equal options produce equal fingerprints and
+  /// any field change produces a different one; the service layer hashes
+  /// it into the content-addressed cache key (DESIGN.md section 9).
+  std::string fingerprint() const;
 };
 
 /// Everything the pipeline produced, stage by stage.
@@ -58,22 +83,26 @@ struct PlutoResult {
   const Program &program() const { return Parsed.Prog; }
 };
 
-/// Runs the full pipeline on restricted-C source.
+/// Compatibility shim over Pipeline: runs the full pipeline on restricted-C
+/// source. Equivalent to Pipeline::create(Opts) + setSource() +
+/// takeLowered(); prefer Pipeline, which can also reuse artifacts and hit
+/// the result cache.
 Result<PlutoResult> optimizeSource(const std::string &Source,
                                    const PlutoOptions &Opts = PlutoOptions());
 
-/// Applies the post-schedule stages (scop building, tiling, wavefront,
-/// vectorization, codegen) to an existing schedule - the hook used to
-/// evaluate forced comparison transformations (Section 7's baselines).
+/// Compatibility shim over Pipeline::lowerSchedule(): applies the
+/// post-schedule stages (scop building, tiling, wavefront, vectorization,
+/// codegen) to an existing schedule - the hook used to evaluate forced
+/// comparison transformations (Section 7's baselines).
 Result<PlutoResult> lowerSchedule(ParsedProgram Parsed, DependenceGraph DG,
                                   Schedule Sched, const PlutoOptions &Opts);
 
-/// Builds the untransformed-program AST (identity 2d+1 schedule) for
-/// baseline execution through the same code generator. The same
-/// `Opts.ParamMin` context assumption optimizeSource applies is added here
-/// too, so original and transformed code are generated under an identical
-/// context (adding it twice is harmless - duplicate context rows
-/// normalize away).
+/// Compatibility shim over Pipeline::originalAst(): builds the
+/// untransformed-program AST (identity 2d+1 schedule) for baseline
+/// execution through the same code generator. The same `Opts.ParamMin`
+/// context assumption the optimizing path applies is added here too, so
+/// original and transformed code are generated under an identical context
+/// (adding it twice is harmless - duplicate context rows normalize away).
 Result<CgNodePtr> buildOriginalAst(const Program &Prog,
                                    const PlutoOptions &Opts = PlutoOptions());
 

@@ -89,6 +89,18 @@ const char *pluto::counterName(Counter C) {
     return "loops_pipeline";
   case Counter::LoopsSequential:
     return "loops_sequential";
+  case Counter::CacheHits:
+    return "cache_hits";
+  case Counter::CacheDiskHits:
+    return "cache_disk_hits";
+  case Counter::CacheMisses:
+    return "cache_misses";
+  case Counter::CacheEvictions:
+    return "cache_evictions";
+  case Counter::CacheCoalesced:
+    return "cache_coalesced";
+  case Counter::StageReuses:
+    return "stage_reuses";
   case Counter::NumCounters:
     break;
   }
@@ -100,8 +112,8 @@ void PassStats::clear() {
     C.store(0, std::memory_order_relaxed);
   for (auto &L : DepsAtLevel)
     L.store(0, std::memory_order_relaxed);
-  for (double &S : PassSeconds)
-    S = 0.0;
+  for (auto &S : PassSeconds)
+    S.store(0.0, std::memory_order_relaxed);
 }
 
 std::string PassStats::toJson(const Trace *T) const {
@@ -109,7 +121,7 @@ std::string PassStats::toJson(const Trace *T) const {
   OS << "{\n  \"passes\": {";
   for (unsigned P = 0; P < static_cast<unsigned>(Pass::NumPasses); ++P) {
     char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%.6f", PassSeconds[P]);
+    std::snprintf(Buf, sizeof(Buf), "%.6f", seconds(static_cast<Pass>(P)));
     OS << (P ? "," : "") << "\n    \"" << passName(static_cast<Pass>(P))
        << "\": {\"seconds\": " << Buf << "}";
   }
@@ -133,7 +145,8 @@ std::string PassStats::toText() const {
   for (unsigned P = 0; P < static_cast<unsigned>(Pass::NumPasses); ++P) {
     char Buf[64];
     std::snprintf(Buf, sizeof(Buf), "  %-10s %10.6f\n",
-                  passName(static_cast<Pass>(P)), PassSeconds[P]);
+                  passName(static_cast<Pass>(P)),
+                  seconds(static_cast<Pass>(P)));
     OS << Buf;
   }
   OS << "counters:\n";

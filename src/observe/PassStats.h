@@ -14,10 +14,12 @@
 /// `std::atomic<PassStats *>` is consulted with a relaxed load (a plain
 /// load on x86) at every count site, and the site is a no-op when it is
 /// null — which is the default. Counters are atomic because dependence
-/// analysis counts from inside an OpenMP parallel region; everything else
-/// runs serially. Hot loops never count per iteration: instrumentation
-/// sits at aggregation boundaries (end of a lexmin call, end of one FM
-/// elimination step) so the counted quantities are bulk-added.
+/// analysis counts from inside an OpenMP parallel region and the service
+/// layer's compileBatch() runs whole pipelines on worker threads; pass
+/// timers accumulate through a CAS loop for the same reason. Hot loops
+/// never count per iteration: instrumentation sits at aggregation
+/// boundaries (end of a lexmin call, end of one FM elimination step) so
+/// the counted quantities are bulk-added.
 ///
 /// The JSON schema emitted by toJson() is documented in DESIGN.md section 8.
 ///
@@ -83,6 +85,13 @@ enum class Counter : unsigned {
   LoopsParallel,
   LoopsPipeline,
   LoopsSequential,
+  // service/ - compilation-service layer (Pipeline sessions, result cache).
+  CacheHits,      ///< in-memory result-cache hits
+  CacheDiskHits,  ///< hits served from the persistent on-disk cache
+  CacheMisses,    ///< keys that required a cold compile
+  CacheEvictions, ///< entries evicted to stay under the byte budget
+  CacheCoalesced, ///< duplicate in-flight compiles joined (single-flight)
+  StageReuses,    ///< pipeline stage accessors served from a memoized artifact
   NumCounters,
 };
 
@@ -103,8 +112,11 @@ struct PassStats {
   /// deps-by-depth histogram: bucket 0 = loop-independent, bucket L = edges
   /// first carried at loop level L (clamped to MaxDepLevels - 1).
   std::atomic<uint64_t> DepsAtLevel[MaxDepLevels];
-  /// Wall-clock seconds per pass; timers only run in the serial driver.
-  double PassSeconds[static_cast<unsigned>(Pass::NumPasses)];
+  /// Wall-clock seconds per pass. Atomic because compileBatch() runs
+  /// pipeline stages on worker threads that all feed one sink; accumulation
+  /// goes through addSeconds() (a CAS loop - timers fire once per stage, so
+  /// contention is negligible).
+  std::atomic<double> PassSeconds[static_cast<unsigned>(Pass::NumPasses)];
 
   PassStats() { clear(); }
 
@@ -113,7 +125,14 @@ struct PassStats {
     return Counters[static_cast<unsigned>(C)].load(std::memory_order_relaxed);
   }
   double seconds(Pass P) const {
-    return PassSeconds[static_cast<unsigned>(P)];
+    return PassSeconds[static_cast<unsigned>(P)].load(
+        std::memory_order_relaxed);
+  }
+  void addSeconds(Pass P, double D) {
+    auto &A = PassSeconds[static_cast<unsigned>(P)];
+    double Cur = A.load(std::memory_order_relaxed);
+    while (!A.compare_exchange_weak(Cur, Cur + D, std::memory_order_relaxed))
+      ;
   }
 
   /// Serializes this run to the JSON document described in DESIGN.md
@@ -168,10 +187,9 @@ public:
                 : std::chrono::steady_clock::time_point()) {}
   ~ScopedPassTimer() {
     if (S)
-      S->PassSeconds[static_cast<unsigned>(P)] +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        Start)
-              .count();
+      S->addSeconds(P, std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count());
   }
   ScopedPassTimer(const ScopedPassTimer &) = delete;
   ScopedPassTimer &operator=(const ScopedPassTimer &) = delete;

@@ -1,0 +1,58 @@
+//===- service/Batch.cpp - Concurrent batch compilation -------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Batch.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace pluto;
+
+Result<std::vector<Result<CompileOutput>>>
+pluto::compileBatch(const std::vector<CompileJob> &Jobs,
+                    const PlutoOptions &Opts, const BatchOptions &BO) {
+  // Validate once up front; per-worker Pipeline::create below then cannot
+  // fail, and an invalid option set rejects the whole batch with one error
+  // instead of N copies of it.
+  if (auto V = Opts.validate(); !V)
+    return Err(V.error());
+
+  std::shared_ptr<ResultCache> Cache = BO.Cache;
+  if (!Cache)
+    Cache = std::make_shared<ResultCache>();
+
+  std::vector<Result<CompileOutput>> Results(Jobs.size(),
+                                             Err("job not executed"));
+
+  unsigned Workers = BO.Jobs ? BO.Jobs : std::thread::hardware_concurrency();
+  if (Workers == 0)
+    Workers = 1;
+  if (Workers > Jobs.size())
+    Workers = static_cast<unsigned>(Jobs.size());
+
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    auto P = Pipeline::create(Opts);
+    if (!P)
+      return; // unreachable: validated above
+    P->attachCache(Cache);
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Jobs.size(); I = Next.fetch_add(1, std::memory_order_relaxed))
+      Results[I] = P->compile(Jobs[I].Source);
+  };
+
+  if (Workers <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  return Results;
+}

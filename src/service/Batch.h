@@ -1,0 +1,57 @@
+//===- service/Batch.h - Concurrent batch compilation -----------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// compileBatch(): run many compilation jobs against one option set on a
+/// pool of worker threads, each worker driving its own Pipeline session
+/// against one shared ResultCache. Guarantees:
+///
+///  - deterministic result ordering: Results[i] always corresponds to
+///    Jobs[i], whatever the completion order was;
+///  - single-flight dedup: jobs whose (canonical source, options,
+///    toolchain version) keys collide compile once - duplicates either
+///    block on the in-flight leader (ResultCache::getOrCompute) or hit the
+///    cache, so a batch of N identical kernels costs one compile;
+///  - failure isolation: one job's parse/transform error fails only its
+///    own slot.
+///
+/// When no cache is supplied, the batch still creates a private in-memory
+/// cache so intra-batch dedup holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SERVICE_BATCH_H
+#define PLUTOPP_SERVICE_BATCH_H
+
+#include "service/Pipeline.h"
+
+#include <vector>
+
+namespace pluto {
+
+/// One unit of batch work; Name is only for diagnostics.
+struct CompileJob {
+  std::string Name;
+  std::string Source;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). The pool is
+  /// never larger than the job count.
+  unsigned Jobs = 1;
+  /// Shared result cache; null = private in-memory cache for this batch.
+  std::shared_ptr<ResultCache> Cache;
+};
+
+/// Compiles every job under Opts. Fails as a whole only on invalid
+/// options; per-job failures are carried in the matching result slot.
+Result<std::vector<Result<CompileOutput>>>
+compileBatch(const std::vector<CompileJob> &Jobs, const PlutoOptions &Opts,
+             const BatchOptions &BO = BatchOptions());
+
+} // namespace pluto
+
+#endif // PLUTOPP_SERVICE_BATCH_H

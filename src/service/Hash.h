@@ -1,0 +1,52 @@
+//===- service/Hash.h - Content hashing for cache keys ----------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-contained SHA-256 (FIPS 180-4) used to derive content-addressed
+/// cache keys from (canonical source, options fingerprint, toolchain
+/// version). A cryptographic digest is deliberate: keys double as on-disk
+/// file names shared between processes, so accidental collisions must be
+/// out of the picture, and the implementation must not pull in an external
+/// dependency. Throughput is irrelevant here - inputs are kilobytes of C
+/// source per compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SERVICE_HASH_H
+#define PLUTOPP_SERVICE_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace pluto {
+
+/// Incremental SHA-256. update() any number of times, then hexDigest()
+/// (which finalizes; the object is spent afterwards).
+class Sha256 {
+public:
+  Sha256();
+
+  Sha256 &update(const void *Data, size_t Len);
+  Sha256 &update(const std::string &S) { return update(S.data(), S.size()); }
+
+  /// Finalizes and returns the 64-char lowercase hex digest.
+  std::string hexDigest();
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint64_t TotalBytes = 0;
+  uint8_t Buf[64];
+  size_t BufLen = 0;
+};
+
+/// One-shot convenience: hex SHA-256 of S.
+std::string sha256Hex(const std::string &S);
+
+} // namespace pluto
+
+#endif // PLUTOPP_SERVICE_HASH_H

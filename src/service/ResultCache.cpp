@@ -1,0 +1,183 @@
+//===- service/ResultCache.cpp - Content-addressed result cache -----------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include "observe/PassStats.h"
+#include "service/Version.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+using namespace pluto;
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache() : ResultCache(Config()) {}
+
+ResultCache::ResultCache(Config C) {
+  MaxBytes = C.MaxBytes;
+  if (C.DiskDir.empty())
+    return;
+  fs::path Root = fs::path(C.DiskDir) /
+                  ("v" + std::to_string(CacheDiskFormatVersion));
+  std::error_code Ec;
+  fs::create_directories(Root, Ec);
+  // An unusable directory degrades to a memory-only cache rather than
+  // failing compiles; the CLI checks diskEnabled() and warns.
+  if (!Ec && fs::is_directory(Root, Ec) && !Ec)
+    DiskRoot = Root.string();
+}
+
+std::optional<std::string> ResultCache::lookupLocked(const std::string &Key) {
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    ++Counts.Hits;
+    count(Counter::CacheHits);
+    return It->second.Value;
+  }
+  if (auto FromDisk = diskRead(Key)) {
+    ++Counts.DiskHits;
+    count(Counter::CacheDiskHits);
+    insertLocked(Key, *FromDisk);
+    return FromDisk;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto V = lookupLocked(Key);
+  if (!V) {
+    ++Counts.Misses;
+    count(Counter::CacheMisses);
+  }
+  return V;
+}
+
+void ResultCache::insertLocked(const std::string &Key, std::string Value) {
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    Bytes -= It->second.Value.size() + Key.size();
+    Bytes += Value.size() + Key.size();
+    It->second.Value = std::move(Value);
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  } else {
+    Lru.push_front(Key);
+    Bytes += Key.size() + Value.size();
+    Map.emplace(Key, Entry{std::move(Value), Lru.begin()});
+  }
+  while (Bytes > MaxBytes && !Lru.empty()) {
+    const std::string &Victim = Lru.back();
+    auto VIt = Map.find(Victim);
+    Bytes -= VIt->second.Value.size() + Victim.size();
+    Map.erase(VIt);
+    Lru.pop_back();
+    ++Counts.Evictions;
+    count(Counter::CacheEvictions);
+  }
+}
+
+void ResultCache::insert(const std::string &Key, const std::string &Value) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    insertLocked(Key, Value);
+  }
+  diskWrite(Key, Value);
+}
+
+Result<std::string>
+ResultCache::getOrCompute(const std::string &Key,
+                          const std::function<Result<std::string>()> &Compute) {
+  std::shared_ptr<Flight> F;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (auto V = lookupLocked(Key))
+      return *V;
+    auto It = InFlight.find(Key);
+    if (It != InFlight.end()) {
+      // Join the leader: it will cache on success, so no further work.
+      F = It->second;
+      ++Counts.Coalesced;
+      count(Counter::CacheCoalesced);
+      F->Cv.wait(Lock, [&] { return F->Done; });
+      return F->R;
+    }
+    ++Counts.Misses;
+    count(Counter::CacheMisses);
+    F = std::make_shared<Flight>();
+    InFlight.emplace(Key, F);
+  }
+
+  Result<std::string> R = Compute();
+  bool Ok = R.hasValue();
+  std::string Value = Ok ? *R : std::string();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Ok)
+      insertLocked(Key, Value);
+    F->R = R;
+    F->Done = true;
+    InFlight.erase(Key);
+  }
+  F->Cv.notify_all();
+  if (Ok)
+    diskWrite(Key, Value);
+  return R;
+}
+
+ResultCache::Snapshot ResultCache::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Snapshot S = Counts;
+  S.Bytes = Bytes;
+  S.Entries = Map.size();
+  return S;
+}
+
+std::optional<std::string> ResultCache::diskRead(const std::string &Key) const {
+  if (DiskRoot.empty())
+    return std::nullopt;
+  std::ifstream In(fs::path(DiskRoot) / (Key + ".c"), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (!In.good() && !In.eof())
+    return std::nullopt;
+  return SS.str();
+}
+
+void ResultCache::diskWrite(const std::string &Key,
+                            const std::string &Value) const {
+  if (DiskRoot.empty())
+    return;
+  // Write-once semantics: an existing entry is already byte-identical (the
+  // key is a content address), so skip the IO.
+  fs::path Final = fs::path(DiskRoot) / (Key + ".c");
+  std::error_code Ec;
+  if (fs::exists(Final, Ec))
+    return;
+  // Unique temp name per thread+object so concurrent writers of the same
+  // key race only at the (atomic) rename.
+  std::ostringstream TmpName;
+  TmpName << Key << ".tmp." << std::hash<std::thread::id>{}(
+                                   std::this_thread::get_id());
+  fs::path Tmp = fs::path(DiskRoot) / TmpName.str();
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
+    if (!Out.good())
+      return;
+  }
+  fs::rename(Tmp, Final, Ec);
+  if (Ec)
+    fs::remove(Tmp, Ec);
+}

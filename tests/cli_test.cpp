@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -229,7 +230,6 @@ TEST(CliTest, NoParallelSuppressesPragmas) {
 TEST(CliTest, ErrorExitCodes) {
   EXPECT_EQ(runCli("/nonexistent/input.c").ExitCode, 1);
   EXPECT_EQ(runCli("--frobnicate " + examplePath("matmul.c")).ExitCode, 1);
-  EXPECT_EQ(runCli("--tile-size=0 " + examplePath("matmul.c")).ExitCode, 1);
   // Invalid restricted-C input is a diagnostic + exit 1.
   std::string Bad = tempPath("_bad.c");
   {
@@ -239,6 +239,26 @@ TEST(CliTest, ErrorExitCodes) {
   EXPECT_EQ(runCli(Bad).ExitCode, 1);
   std::remove(Bad.c_str());
   EXPECT_EQ(runCli("--help").ExitCode, 0);
+}
+
+// Regression for the unvalidated-zero-tile-size path: option validation
+// (PlutoOptions::validate() via the service layer) must fail fast with
+// exit code 2 - the options class of error - before a degenerate supernode
+// is ever constructed, and before inputs are even read.
+TEST(CliTest, InvalidOptionsExitCode2) {
+  EXPECT_EQ(runCli("--tile-size=0 " + examplePath("matmul.c")).ExitCode, 2);
+  // Rejected even when tiling is off: the option set itself is invalid.
+  EXPECT_EQ(runCli("--no-tile --tile-size=0 " + examplePath("matmul.c"))
+                .ExitCode,
+            2);
+  EXPECT_EQ(runCli("--l2tile-size=0 " + examplePath("matmul.c")).ExitCode, 2);
+  EXPECT_EQ(runCli("--param-min=-3 " + examplePath("matmul.c")).ExitCode, 2);
+  // Validation happens before input I/O: a nonexistent file with bad
+  // options still reports the options error (2), not the I/O error (1).
+  EXPECT_EQ(runCli("--tile-size=0 /nonexistent/input.c").ExitCode, 2);
+  // Garbage (non-numeric) arguments remain the generic CLI error.
+  EXPECT_EQ(runCli("--tile-size=banana " + examplePath("matmul.c")).ExitCode,
+            1);
 }
 
 TEST(CliTest, OutFlagWritesFileAndFreesStdout) {
@@ -289,6 +309,80 @@ TEST(CliTest, ReportTextListsPassesAndTrace) {
   EXPECT_NE(R.Stdout.find("pass timings"), std::string::npos);
   EXPECT_NE(R.Stdout.find("decision trace:"), std::string::npos);
   EXPECT_NE(R.Stdout.find("[transform]"), std::string::npos);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(CliTest, MultiFileStdoutIsBannerSeparatedInInputOrder) {
+  RunResult R = runCli(examplePath("matmul.c") + " " +
+                       examplePath("jacobi1d.c"));
+  ASSERT_EQ(R.ExitCode, 0);
+  size_t B1 = R.Stdout.find("/* ===== plutopp: ");
+  size_t B2 = R.Stdout.find("/* ===== plutopp: ", B1 + 1);
+  ASSERT_NE(B1, std::string::npos);
+  ASSERT_NE(B2, std::string::npos);
+  EXPECT_NE(R.Stdout.find("matmul.c", B1), std::string::npos);
+  EXPECT_LT(R.Stdout.find("matmul.c", B1), B2); // input order preserved
+  EXPECT_NE(R.Stdout.find("jacobi1d.c", B2), std::string::npos);
+}
+
+TEST(CliTest, OutWithMultipleInputsRejected) {
+  RunResult R = runCli("--out=" + tempPath("_multi.c") + " " +
+                       examplePath("matmul.c") + " " +
+                       examplePath("jacobi1d.c"));
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+// The service path end to end: concurrent batch over every example kernel
+// against one persistent --cache-dir, run twice. The warm run must be
+// served from the cache (counters in the JSON report) and its outputs must
+// be byte-identical to the cold run's.
+TEST(CliTest, BatchJobsWithPersistentCacheIsWarmAndIdentical) {
+  namespace fs = std::filesystem;
+  std::string CacheDir = tempPath("_cache");
+  std::string OutDir1 = tempPath("_out1");
+  std::string OutDir2 = tempPath("_out2");
+  const char *Kernels[] = {"matmul.c", "jacobi1d.c", "lu.c", "mvt.c",
+                           "seidel2d.c"};
+  std::string Inputs;
+  for (const char *K : Kernels)
+    Inputs += " " + examplePath(K);
+  std::string Common =
+      "--jobs=4 --cache-dir=" + CacheDir + " --report=json";
+
+  RunResult Cold = runCli(Common + " --out-dir=" + OutDir1 + Inputs);
+  ASSERT_EQ(Cold.ExitCode, 0);
+  ASSERT_TRUE(JsonChecker(Cold.Stdout).valid()) << Cold.Stdout;
+  EXPECT_GE(numberAfterKey(Cold.Stdout, "cache_misses"), 5.0);
+  EXPECT_EQ(numberAfterKey(Cold.Stdout, "cache_disk_hits"), 0.0);
+
+  RunResult Warm = runCli(Common + " --out-dir=" + OutDir2 + Inputs);
+  ASSERT_EQ(Warm.ExitCode, 0);
+  ASSERT_TRUE(JsonChecker(Warm.Stdout).valid()) << Warm.Stdout;
+  // A fresh process has an empty memory tier; all 5 units come from disk.
+  EXPECT_GE(numberAfterKey(Warm.Stdout, "cache_disk_hits"), 5.0);
+  EXPECT_EQ(numberAfterKey(Warm.Stdout, "cache_misses"), 0.0);
+
+  for (const char *K : Kernels) {
+    std::string Stem = fs::path(K).stem().string() + ".pluto.c";
+    std::string A = readFile(OutDir1 + "/" + Stem);
+    std::string B = readFile(OutDir2 + "/" + Stem);
+    ASSERT_FALSE(A.empty()) << Stem;
+    EXPECT_EQ(A, B) << Stem; // cached == cold, byte for byte
+    EXPECT_NE(A.find("for ("), std::string::npos) << Stem;
+  }
+  // The persistent tier is the versioned layout of DESIGN.md section 9.
+  EXPECT_TRUE(fs::is_directory(fs::path(CacheDir) / "v1"));
+
+  std::error_code Ec;
+  fs::remove_all(CacheDir, Ec);
+  fs::remove_all(OutDir1, Ec);
+  fs::remove_all(OutDir2, Ec);
 }
 
 TEST(CliTest, EmittedCodeCompiles) {

@@ -1,0 +1,521 @@
+//===- tests/service_test.cpp - Compilation service layer tests -----------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// Covers the src/service stack: PlutoOptions validation/equality/
+// fingerprinting, the SHA-256 content hash, the result cache (LRU byte
+// budget, disk persistence, single-flight dedup), Pipeline sessions
+// (staged artifacts, reuse, cache keys) and the concurrent batch driver -
+// including the determinism contract that cached and cold compiles of
+// every examples/*.c kernel are byte-identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Batch.h"
+#include "service/Hash.h"
+#include "service/Pipeline.h"
+#include "service/ResultCache.h"
+#include "service/Version.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#ifndef PLUTOPP_EXAMPLES_DIR
+#error "PLUTOPP_EXAMPLES_DIR must be defined by the build"
+#endif
+
+using namespace pluto;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *MatMul = "for (i = 0; i <= N - 1; i++)\n"
+                     "  for (j = 0; j <= N - 1; j++)\n"
+                     "    for (k = 0; k <= N - 1; k++)\n"
+                     "      C[i][j] = C[i][j] + A[i][k] * B[k][j];\n";
+
+const char *Jacobi = "for (t = 0; t <= T - 1; t++)\n"
+                     "  for (i = 1; i <= N - 2; i++)\n"
+                     "    b[i] = 0.333 * (a[i - 1] + a[i] + a[i + 1]);\n";
+
+std::string tempDir(const std::string &Suffix) {
+  const char *Tmp = std::getenv("TMPDIR");
+  std::string Dir = (Tmp && *Tmp) ? Tmp : "/tmp";
+  return Dir + "/plutopp_service_test_" + std::to_string(getpid()) + Suffix;
+}
+
+std::vector<fs::path> exampleKernels() {
+  std::vector<fs::path> Out;
+  for (const auto &E : fs::directory_iterator(PLUTOPP_EXAMPLES_DIR))
+    if (E.path().extension() == ".c")
+      Out.push_back(E.path());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string readFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// PlutoOptions: validate / equality / fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(OptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(PlutoOptions().validate().hasValue());
+}
+
+TEST(OptionsTest, RejectsDegenerateValues) {
+  {
+    PlutoOptions O;
+    O.TileSize = 0;
+    auto V = O.validate();
+    ASSERT_FALSE(V.hasValue());
+    EXPECT_NE(V.error().find("tile size"), std::string::npos);
+  }
+  {
+    PlutoOptions O;
+    O.L2TileSize = 0;
+    EXPECT_FALSE(O.validate().hasValue());
+  }
+  {
+    PlutoOptions O;
+    O.WavefrontDegrees = 0;
+    EXPECT_FALSE(O.validate().hasValue());
+  }
+  {
+    PlutoOptions O;
+    O.ParamMin = -1;
+    EXPECT_FALSE(O.validate().hasValue());
+  }
+}
+
+// The library-level regression for the tile-size-zero bug: a zero must be
+// rejected before supernode construction, through every entry point.
+TEST(OptionsTest, ZeroTileSizeFailsFastThroughEveryEntryPoint) {
+  PlutoOptions O;
+  O.TileSize = 0;
+  EXPECT_FALSE(Pipeline::create(O).hasValue());
+  EXPECT_FALSE(optimizeSource(MatMul, O).hasValue());
+  auto B = compileBatch({{"m", MatMul}}, O);
+  EXPECT_FALSE(B.hasValue());
+}
+
+TEST(OptionsTest, EqualityIsFieldWise) {
+  PlutoOptions A, B;
+  EXPECT_TRUE(A == B);
+  B.TileSize = 16;
+  EXPECT_TRUE(A != B);
+  B = A;
+  B.CG.ParallelPragmaRows.insert(2);
+  EXPECT_TRUE(A != B);
+}
+
+TEST(OptionsTest, FingerprintIsSensitiveToEveryField) {
+  const PlutoOptions Base;
+  std::vector<PlutoOptions> Variants(12, Base);
+  Variants[0].Tile = false;
+  Variants[1].TileSize = 16;
+  Variants[2].SecondLevelTile = true;
+  Variants[3].L2TileSize = 4;
+  Variants[4].Parallelize = false;
+  Variants[5].WavefrontDegrees = 2;
+  Variants[6].Vectorize = false;
+  Variants[7].IncludeInputDeps = false;
+  Variants[8].ParamMin = 8;
+  Variants[9].CG.MaxPieces = 12;
+  Variants[10].CG.EnableSeparation = false;
+  Variants[11].CG.ParallelPragmaRows.insert(1);
+
+  std::set<std::string> Fps;
+  Fps.insert(Base.fingerprint());
+  for (const PlutoOptions &V : Variants) {
+    EXPECT_TRUE(V != Base);
+    Fps.insert(V.fingerprint());
+  }
+  // Base + every single-field variant are pairwise distinct.
+  EXPECT_EQ(Fps.size(), Variants.size() + 1);
+  // Equal options, equal fingerprint; fingerprints are deterministic.
+  PlutoOptions Copy = Base;
+  EXPECT_EQ(Copy.fingerprint(), Base.fingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// SHA-256
+//===----------------------------------------------------------------------===//
+
+TEST(HashTest, Fips180Vectors) {
+  EXPECT_EQ(
+      sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(HashTest, IncrementalMatchesOneShot) {
+  std::string S(1000, 'x');
+  for (size_t I = 0; I < S.size(); ++I)
+    S[I] = static_cast<char>('a' + I % 26);
+  Sha256 H;
+  for (size_t I = 0; I < S.size(); I += 37)
+    H.update(S.substr(I, 37));
+  EXPECT_EQ(H.hexDigest(), sha256Hex(S));
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCacheTest, HitMissAndLruEvictionUnderByteBudget) {
+  ResultCache::Config C;
+  C.MaxBytes = 3 * (1 + 10); // three 1-byte keys with 10-byte values
+  ResultCache Cache(C);
+
+  EXPECT_FALSE(Cache.lookup("a").has_value());
+  Cache.insert("a", std::string(10, 'A'));
+  Cache.insert("b", std::string(10, 'B'));
+  Cache.insert("c", std::string(10, 'C'));
+  EXPECT_EQ(Cache.snapshot().Entries, 3u);
+  EXPECT_EQ(Cache.snapshot().Evictions, 0u);
+
+  // Touch "a" so "b" becomes least recently used, then overflow.
+  EXPECT_TRUE(Cache.lookup("a").has_value());
+  Cache.insert("d", std::string(10, 'D'));
+  auto S = Cache.snapshot();
+  EXPECT_EQ(S.Entries, 3u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_FALSE(Cache.lookup("b").has_value()); // the LRU victim
+  EXPECT_TRUE(Cache.lookup("a").has_value());
+  EXPECT_TRUE(Cache.lookup("c").has_value());
+  EXPECT_TRUE(Cache.lookup("d").has_value());
+  EXPECT_LE(Cache.snapshot().Bytes, C.MaxBytes);
+}
+
+TEST(ResultCacheTest, OversizedValueIsNotMemoryResident) {
+  ResultCache::Config C;
+  C.MaxBytes = 8;
+  ResultCache Cache(C);
+  Cache.insert("k", std::string(100, 'V'));
+  auto S = Cache.snapshot();
+  EXPECT_EQ(S.Entries, 0u); // evicted itself immediately
+  EXPECT_EQ(S.Evictions, 1u);
+}
+
+TEST(ResultCacheTest, DiskTierPersistsAcrossInstances) {
+  std::string Dir = tempDir("_disk");
+  {
+    ResultCache::Config C;
+    C.DiskDir = Dir;
+    ResultCache Cache(C);
+    ASSERT_TRUE(Cache.diskEnabled());
+    Cache.insert("deadbeef", "emitted unit\n");
+  }
+  // The on-disk layout is versioned (DESIGN.md section 9).
+  EXPECT_TRUE(fs::exists(fs::path(Dir) / "v1" / "deadbeef.c"));
+  {
+    ResultCache::Config C;
+    C.DiskDir = Dir;
+    ResultCache Cache(C); // fresh memory tier
+    auto V = Cache.lookup("deadbeef");
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, "emitted unit\n");
+    EXPECT_EQ(Cache.snapshot().DiskHits, 1u);
+    // Promoted: the second lookup is a memory hit.
+    Cache.lookup("deadbeef");
+    EXPECT_EQ(Cache.snapshot().Hits, 1u);
+  }
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
+TEST(ResultCacheTest, SingleFlightComputesOncePerKey) {
+  ResultCache Cache;
+  std::atomic<unsigned> Computes{0};
+  auto Slow = [&]() -> Result<std::string> {
+    Computes.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::string("value");
+  };
+  std::vector<std::thread> Ts;
+  std::atomic<unsigned> Successes{0};
+  for (int I = 0; I < 4; ++I)
+    Ts.emplace_back([&] {
+      auto R = Cache.getOrCompute("key", Slow);
+      if (R.hasValue() && *R == "value")
+        Successes.fetch_add(1);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Computes.load(), 1u);
+  EXPECT_EQ(Successes.load(), 4u);
+  // Latecomers coalesced onto the leader's flight (or, if the leader
+  // finished first, hit the cache); either way no recompute happened.
+  auto S = Cache.snapshot();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Coalesced + S.Hits, 3u);
+}
+
+TEST(ResultCacheTest, FailedComputeIsNotCachedAndSharedWithWaiters) {
+  ResultCache Cache;
+  auto Fail = [&]() -> Result<std::string> { return Err("boom"); };
+  auto R1 = Cache.getOrCompute("k", Fail);
+  ASSERT_FALSE(R1.hasValue());
+  EXPECT_EQ(R1.error(), "boom");
+  // Not cached: the next call recomputes (and can succeed).
+  auto R2 = Cache.getOrCompute("k", []() -> Result<std::string> {
+    return std::string("ok");
+  });
+  ASSERT_TRUE(R2.hasValue());
+  EXPECT_EQ(*R2, "ok");
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline sessions
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, StagedArtifactsAreMemoizedAndReused) {
+  auto P = Pipeline::create();
+  ASSERT_TRUE(P.hasValue());
+  P->setSource(MatMul);
+
+  auto Parsed = P->parsed();
+  ASSERT_TRUE(Parsed.hasValue());
+  const ParsedProgram *FirstParsed = *Parsed;
+  EXPECT_EQ(FirstParsed->Prog.Stmts.size(), 1u);
+
+  auto Low = P->lowered();
+  ASSERT_TRUE(Low.hasValue());
+  // The early artifact is still the same object after late stages ran.
+  auto Parsed2 = P->parsed();
+  ASSERT_TRUE(Parsed2.hasValue());
+  EXPECT_EQ(*Parsed2, FirstParsed);
+
+  auto Em = P->emitted();
+  ASSERT_TRUE(Em.hasValue());
+  EXPECT_NE((*Em)->find("#pragma omp parallel for"), std::string::npos);
+
+  // setSource invalidates the session.
+  P->setSource(Jacobi);
+  auto Parsed3 = P->parsed();
+  ASSERT_TRUE(Parsed3.hasValue());
+  EXPECT_EQ((*Parsed3)->Prog.Stmts.size(), 1u);
+}
+
+TEST(PipelineTest, MatchesOneShotShim) {
+  PlutoOptions Opts;
+  auto P = Pipeline::create(Opts);
+  ASSERT_TRUE(P.hasValue());
+  P->setSource(MatMul);
+  auto Staged = P->takeLowered();
+  ASSERT_TRUE(Staged.hasValue());
+
+  auto OneShot = optimizeSource(MatMul, Opts);
+  ASSERT_TRUE(OneShot.hasValue());
+  EXPECT_EQ(Staged->Sched.toString(Staged->program()),
+            OneShot->Sched.toString(OneShot->program()));
+}
+
+TEST(PipelineTest, CacheKeyCanonicalizesWhitespaceButNotSemantics) {
+  auto P = Pipeline::create();
+  ASSERT_TRUE(P.hasValue());
+  std::string Base = P->cacheKey(MatMul);
+  EXPECT_EQ(Base.size(), 64u);
+
+  // CRLF line endings, trailing spaces, outer blank lines: same key.
+  std::string Cosmetic;
+  for (char C : std::string(MatMul))
+    Cosmetic += (C == '\n') ? std::string("  \r\n") : std::string(1, C);
+  EXPECT_EQ(P->cacheKey("\n\n" + Cosmetic + "\n\n"), Base);
+
+  // A semantic change: different key.
+  std::string Other = MatMul;
+  Other[Other.find("N - 1")] = 'M';
+  EXPECT_NE(P->cacheKey(Other), Base);
+
+  // Different options: different key for the same source.
+  PlutoOptions O2;
+  O2.TileSize = 16;
+  auto P2 = Pipeline::create(O2);
+  ASSERT_TRUE(P2.hasValue());
+  EXPECT_NE(P2->cacheKey(MatMul), Base);
+}
+
+TEST(PipelineTest, CompileHitsCacheOnSecondCall) {
+  auto P = Pipeline::create();
+  ASSERT_TRUE(P.hasValue());
+  auto Cache = std::make_shared<ResultCache>();
+  P->attachCache(Cache);
+
+  auto Cold = P->compile(MatMul);
+  ASSERT_TRUE(Cold.hasValue());
+  EXPECT_FALSE(Cold->CacheHit);
+
+  auto WarmRes = P->compile(MatMul);
+  ASSERT_TRUE(WarmRes.hasValue());
+  EXPECT_TRUE(WarmRes->CacheHit);
+  EXPECT_EQ(WarmRes->Key, Cold->Key);
+  EXPECT_EQ(WarmRes->EmittedC, Cold->EmittedC);
+  EXPECT_EQ(Cache->snapshot().Hits, 1u);
+}
+
+TEST(PipelineTest, ParseErrorsPropagateAndAreNotCached) {
+  auto P = Pipeline::create();
+  ASSERT_TRUE(P.hasValue());
+  auto Cache = std::make_shared<ResultCache>();
+  P->attachCache(Cache);
+  auto R = P->compile("while (1) { a[i] = 0.0; }\n");
+  EXPECT_FALSE(R.hasValue());
+  EXPECT_EQ(Cache->snapshot().Entries, 0u);
+}
+
+// The acceptance-criteria determinism sweep: for every examples/*.c
+// kernel, a cold compile, a second cold compile (fresh session), and a
+// cache-served compile must all emit byte-identical C.
+TEST(PipelineTest, ColdAndCachedCompilesAreByteIdenticalForAllExamples) {
+  auto Kernels = exampleKernels();
+  ASSERT_FALSE(Kernels.empty());
+  auto Cache = std::make_shared<ResultCache>();
+  for (const fs::path &K : Kernels) {
+    std::string Src = readFile(K);
+
+    auto P1 = Pipeline::create();
+    ASSERT_TRUE(P1.hasValue());
+    auto Cold1 = P1->compile(Src);
+    ASSERT_TRUE(Cold1.hasValue()) << K << ": " << Cold1.error();
+
+    auto P2 = Pipeline::create();
+    ASSERT_TRUE(P2.hasValue());
+    auto Cold2 = P2->compile(Src);
+    ASSERT_TRUE(Cold2.hasValue());
+    EXPECT_EQ(Cold1->EmittedC, Cold2->EmittedC) << K;
+
+    auto P3 = Pipeline::create();
+    ASSERT_TRUE(P3.hasValue());
+    P3->attachCache(Cache);
+    auto Seed = P3->compile(Src); // populates
+    ASSERT_TRUE(Seed.hasValue());
+    auto Warm = P3->compile(Src); // served
+    ASSERT_TRUE(Warm.hasValue());
+    EXPECT_TRUE(Warm->CacheHit) << K;
+    EXPECT_EQ(Warm->EmittedC, Cold1->EmittedC) << K;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// compileBatch
+//===----------------------------------------------------------------------===//
+
+TEST(BatchTest, DeterministicOrderingAndFailureIsolation) {
+  std::vector<CompileJob> Jobs = {
+      {"matmul", MatMul},
+      {"bad", "while (1) { a[i] = 0.0; }\n"},
+      {"jacobi", Jacobi},
+      {"matmul-again", MatMul},
+  };
+  auto R = compileBatch(Jobs, PlutoOptions(), BatchOptions());
+  ASSERT_TRUE(R.hasValue());
+  ASSERT_EQ(R->size(), 4u);
+  ASSERT_TRUE((*R)[0].hasValue());
+  EXPECT_FALSE((*R)[1].hasValue()); // only the bad job fails
+  ASSERT_TRUE((*R)[2].hasValue());
+  ASSERT_TRUE((*R)[3].hasValue());
+  // Identical jobs dedup onto one compile: same key, same bytes.
+  EXPECT_EQ((*R)[0]->Key, (*R)[3]->Key);
+  EXPECT_EQ((*R)[0]->EmittedC, (*R)[3]->EmittedC);
+  EXPECT_NE((*R)[0]->Key, (*R)[2]->Key);
+}
+
+TEST(BatchTest, ConcurrentMatchesSerialByteForByte) {
+  auto Kernels = exampleKernels();
+  ASSERT_FALSE(Kernels.empty());
+  std::vector<CompileJob> Jobs;
+  for (const fs::path &K : Kernels)
+    Jobs.push_back({K.filename().string(), readFile(K)});
+
+  BatchOptions Serial;
+  Serial.Jobs = 1;
+  auto RS = compileBatch(Jobs, PlutoOptions(), Serial);
+  ASSERT_TRUE(RS.hasValue());
+
+  BatchOptions Par;
+  Par.Jobs = 4;
+  auto RP = compileBatch(Jobs, PlutoOptions(), Par);
+  ASSERT_TRUE(RP.hasValue());
+
+  ASSERT_EQ(RS->size(), RP->size());
+  for (size_t I = 0; I < RS->size(); ++I) {
+    ASSERT_TRUE((*RS)[I].hasValue()) << Jobs[I].Name;
+    ASSERT_TRUE((*RP)[I].hasValue()) << Jobs[I].Name;
+    EXPECT_EQ((*RS)[I]->EmittedC, (*RP)[I]->EmittedC) << Jobs[I].Name;
+  }
+}
+
+TEST(BatchTest, SharedCacheMakesSecondBatchAllHits) {
+  auto Kernels = exampleKernels();
+  std::vector<CompileJob> Jobs;
+  for (const fs::path &K : Kernels)
+    Jobs.push_back({K.filename().string(), readFile(K)});
+
+  BatchOptions BO;
+  BO.Jobs = 2;
+  BO.Cache = std::make_shared<ResultCache>();
+  auto Cold = compileBatch(Jobs, PlutoOptions(), BO);
+  ASSERT_TRUE(Cold.hasValue());
+  auto Warm = compileBatch(Jobs, PlutoOptions(), BO);
+  ASSERT_TRUE(Warm.hasValue());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    ASSERT_TRUE((*Warm)[I].hasValue());
+    EXPECT_TRUE((*Warm)[I]->CacheHit) << Jobs[I].Name;
+    EXPECT_EQ((*Warm)[I]->EmittedC, (*Cold)[I]->EmittedC);
+  }
+}
+
+// The warm-vs-cold acceptance criterion at API level: serving the corpus
+// from the cache must be at least 10x faster than compiling it.
+TEST(BatchTest, WarmCacheIsAtLeastTenTimesFasterThanCold) {
+  auto Kernels = exampleKernels();
+  std::vector<CompileJob> Jobs;
+  for (const fs::path &K : Kernels)
+    Jobs.push_back({K.filename().string(), readFile(K)});
+
+  BatchOptions BO;
+  BO.Cache = std::make_shared<ResultCache>();
+  auto T0 = std::chrono::steady_clock::now();
+  auto Cold = compileBatch(Jobs, PlutoOptions(), BO);
+  auto T1 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(Cold.hasValue());
+
+  // Best warm run of three, to be robust against scheduler noise.
+  double WarmBest = 1e9;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto W0 = std::chrono::steady_clock::now();
+    auto Warm = compileBatch(Jobs, PlutoOptions(), BO);
+    auto W1 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(Warm.hasValue());
+    for (const auto &R : *Warm)
+      ASSERT_TRUE(R.hasValue() && R->CacheHit);
+    WarmBest =
+        std::min(WarmBest, std::chrono::duration<double>(W1 - W0).count());
+  }
+  double ColdSecs = std::chrono::duration<double>(T1 - T0).count();
+  EXPECT_GE(ColdSecs, WarmBest * 10.0)
+      << "cold " << ColdSecs << "s vs warm " << WarmBest << "s";
+}
+
+} // namespace

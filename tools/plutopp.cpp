@@ -2,37 +2,44 @@
 //
 // Part of plutopp, a reproduction of the PLDI'08 Pluto system.
 //
-// The paper's tool front-end (Section 6, Figure 5): read a restricted-C
-// affine loop nest, run the full pipeline (parse -> dependence analysis ->
-// Pluto transformation -> tiling -> wavefront -> vectorization reorder ->
-// codegen) and emit tiled OpenMP C. Unlike the minimal examples/plutocc,
-// this binary exposes every paper knob symmetrically (--x / --no-x) and can
-// dump the toolchain-wide diagnostics collected by src/observe: per-pass
-// timings, counters from the ILP core / polyhedral library / dependence
-// analysis / transform framework, and the decision trace.
+// The paper's tool front-end (Section 6, Figure 5) grown into a front door
+// for the compilation service layer: read one or many restricted-C affine
+// loop nests, compile them through pluto::Pipeline sessions - concurrently
+// with --jobs, against a content-addressed result cache with --cache-dir -
+// and emit tiled OpenMP C. Every paper knob is exposed symmetrically
+// (--x / --no-x), and --report dumps the toolchain-wide diagnostics from
+// src/observe including the cache hit/miss/eviction counters.
+//
+// Exit codes: 0 success, 1 I/O or compilation failure, 2 invalid options
+// (PlutoOptions::validate()).
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
 #include "observe/PassStats.h"
 #include "observe/Trace.h"
+#include "service/Batch.h"
+#include "service/Pipeline.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 using namespace pluto;
 
 namespace {
 
 const char *UsageText =
-    "usage: plutopp [options] [input.c]\n"
+    "usage: plutopp [options] [input.c ...]\n"
     "\n"
-    "Reads a restricted-C affine loop nest (stdin when no input file is\n"
-    "given) and emits tiled OpenMP C.\n"
+    "Reads restricted-C affine loop nests (stdin when no input file is\n"
+    "given) and emits tiled OpenMP C. With several inputs the units are\n"
+    "compiled as one batch (see --jobs) and written to stdout in input\n"
+    "order, separated by banner comments, unless --out-dir is given.\n"
     "\n"
     "transformation options (defaults shown):\n"
     "  --tile / --no-tile              tile permutable bands (on)\n"
@@ -45,14 +52,30 @@ const char *UsageText =
     "                                  RAR deps in the cost model (on)\n"
     "  --param-min=N                   context assumption p >= N (4)\n"
     "\n"
+    "service options:\n"
+    "  --jobs=N                        compile inputs on N worker threads\n"
+    "                                  (1; 0 = all hardware threads)\n"
+    "  --cache-dir=DIR                 persistent content-addressed result\n"
+    "                                  cache shared across runs/processes\n"
+    "  --cache-bytes=N                 in-memory cache budget in bytes\n"
+    "                                  (67108864)\n"
+    "\n"
     "output options:\n"
     "  --out=FILE                      write the generated C to FILE\n"
-    "                                  (default: stdout)\n"
+    "                                  (single input only; default stdout)\n"
+    "  --out-dir=DIR                   write each input's unit to\n"
+    "                                  DIR/<stem>.pluto.c\n"
     "  --report                        human-readable statistics + decision\n"
-    "                                  trace (stderr; stdout with --out)\n"
+    "                                  trace (stderr; stdout when no code\n"
+    "                                  goes there). The trace covers\n"
+    "                                  single-job runs only; batch runs\n"
+    "                                  report timers/counters, including\n"
+    "                                  cache hits/misses/evictions\n"
     "  --report=json                   the same as one JSON document\n"
-    "                                  (schema: DESIGN.md section 8)\n"
-    "  -h, --help                      this text\n";
+    "                                  (schema: DESIGN.md sections 8-9)\n"
+    "  -h, --help                      this text\n"
+    "\n"
+    "exit codes: 0 ok, 1 I/O or compile error, 2 invalid options\n";
 
 /// Parses the =N suffix of A (after the Len-byte prefix); exits on garbage.
 long long numArg(const std::string &A, size_t Len) {
@@ -66,11 +89,21 @@ long long numArg(const std::string &A, size_t Len) {
   return V;
 }
 
+/// `path/to/foo.c` -> `foo` (the --out-dir output stem).
+std::string stemOf(const std::string &Path) {
+  std::string Stem = std::filesystem::path(Path).stem().string();
+  return Stem.empty() ? "unit" : Stem;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   PlutoOptions Opts;
-  std::string InputPath, OutPath;
+  std::vector<std::string> InputPaths;
+  std::string OutPath, OutDir, CacheDir;
+  size_t CacheBytes = 64ull << 20;
+  unsigned Jobs = 1;
+  bool JobsGiven = false;
   enum class ReportMode { None, Text, Json } Report = ReportMode::None;
 
   for (int I = 1; I < argc; ++I) {
@@ -80,23 +113,17 @@ int main(int argc, char **argv) {
     else if (A == "--no-tile")
       Opts.Tile = false;
     else if (A.rfind("--tile-size=", 0) == 0) {
+      // Range checks are deliberately left to PlutoOptions::validate() so
+      // the CLI and library agree on what is rejected (exit code 2 below).
       long long V = numArg(A, 12);
-      if (V <= 0) {
-        std::fprintf(stderr, "plutopp: --tile-size must be positive\n");
-        return 1;
-      }
-      Opts.TileSize = static_cast<unsigned>(V);
+      Opts.TileSize = V < 0 ? 0u : static_cast<unsigned>(V);
     } else if (A == "--l2tile")
       Opts.SecondLevelTile = true;
     else if (A == "--no-l2tile")
       Opts.SecondLevelTile = false;
     else if (A.rfind("--l2tile-size=", 0) == 0) {
       long long V = numArg(A, 14);
-      if (V <= 0) {
-        std::fprintf(stderr, "plutopp: --l2tile-size must be positive\n");
-        return 1;
-      }
-      Opts.L2TileSize = static_cast<unsigned>(V);
+      Opts.L2TileSize = V < 0 ? 0u : static_cast<unsigned>(V);
     } else if (A == "--parallel")
       Opts.Parallelize = true;
     else if (A == "--no-parallel")
@@ -111,8 +138,27 @@ int main(int argc, char **argv) {
       Opts.IncludeInputDeps = false;
     else if (A.rfind("--param-min=", 0) == 0)
       Opts.ParamMin = numArg(A, 12);
-    else if (A.rfind("--out=", 0) == 0)
+    else if (A.rfind("--jobs=", 0) == 0) {
+      long long V = numArg(A, 7);
+      if (V < 0) {
+        std::fprintf(stderr, "plutopp: --jobs must be >= 0\n");
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(V);
+      JobsGiven = true;
+    } else if (A.rfind("--cache-dir=", 0) == 0)
+      CacheDir = A.substr(12);
+    else if (A.rfind("--cache-bytes=", 0) == 0) {
+      long long V = numArg(A, 14);
+      if (V <= 0) {
+        std::fprintf(stderr, "plutopp: --cache-bytes must be positive\n");
+        return 2;
+      }
+      CacheBytes = static_cast<size_t>(V);
+    } else if (A.rfind("--out=", 0) == 0)
       OutPath = A.substr(6);
+    else if (A.rfind("--out-dir=", 0) == 0)
+      OutDir = A.substr(10);
     else if (A == "--report")
       Report = ReportMode::Text;
     else if (A == "--report=json")
@@ -124,81 +170,146 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "plutopp: unknown option '%s' (see --help)\n",
                    A.c_str());
       return 1;
-    } else if (!InputPath.empty()) {
-      std::fprintf(stderr, "plutopp: more than one input file\n");
-      return 1;
     } else {
-      InputPath = A;
+      InputPaths.push_back(A);
     }
   }
 
-  std::string Source;
-  if (InputPath.empty()) {
+  // Fail fast on option sets the pipeline cannot lower - before any input
+  // is read - with the distinct exit code scripts can branch on.
+  if (auto V = Opts.validate(); !V) {
+    std::fprintf(stderr, "plutopp: %s\n", V.error().c_str());
+    return 2;
+  }
+  if (!OutPath.empty() && !OutDir.empty()) {
+    std::fprintf(stderr, "plutopp: --out and --out-dir are exclusive\n");
+    return 2;
+  }
+  if (!OutPath.empty() && InputPaths.size() > 1) {
+    std::fprintf(stderr,
+                 "plutopp: --out with several inputs is ambiguous; use "
+                 "--out-dir\n");
+    return 2;
+  }
+
+  // Assemble the batch: named files, or stdin as a single anonymous unit.
+  std::vector<CompileJob> Batch;
+  if (InputPaths.empty()) {
     std::stringstream SS;
     SS << std::cin.rdbuf();
-    Source = SS.str();
+    Batch.push_back({"<stdin>", SS.str()});
   } else {
-    std::ifstream In(InputPath);
-    if (!In) {
-      std::fprintf(stderr, "plutopp: cannot open '%s'\n", InputPath.c_str());
+    for (const std::string &Path : InputPaths) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "plutopp: cannot open '%s'\n", Path.c_str());
+        return 1;
+      }
+      std::stringstream SS;
+      SS << In.rdbuf();
+      Batch.push_back({Path, SS.str()});
+    }
+  }
+
+  if (!OutDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(OutDir, Ec);
+    if (Ec || !std::filesystem::is_directory(OutDir)) {
+      std::fprintf(stderr, "plutopp: cannot create --out-dir '%s'\n",
+                   OutDir.c_str());
       return 1;
     }
-    std::stringstream SS;
-    SS << In.rdbuf();
-    Source = SS.str();
+  }
+
+  BatchOptions BO;
+  BO.Jobs = JobsGiven ? Jobs : 1;
+  {
+    ResultCache::Config CC;
+    CC.MaxBytes = CacheBytes;
+    CC.DiskDir = CacheDir;
+    BO.Cache = std::make_shared<ResultCache>(CC);
+    if (!CacheDir.empty() && !BO.Cache->diskEnabled())
+      std::fprintf(stderr,
+                   "plutopp: warning: cache dir '%s' unusable, continuing "
+                   "with in-memory cache only\n",
+                   CacheDir.c_str());
   }
 
   // Diagnostics are collected only when asked for; with no sink installed
-  // every count site in the library is a null-check.
+  // every count site in the library is a null-check. The decision trace
+  // builds interleaved strings and is serial-only, so it is recorded only
+  // when one job runs on one thread.
   PassStats Stats;
   Trace Tr;
-  if (Report != ReportMode::None) {
+  bool WantTrace =
+      Report != ReportMode::None && Batch.size() == 1 && BO.Jobs <= 1;
+  if (Report != ReportMode::None)
     setActiveStats(&Stats);
+  if (WantTrace)
     setActiveTrace(&Tr);
-  }
 
-  auto R = optimizeSource(Source, Opts);
+  auto BatchRes = compileBatch(Batch, Opts, BO);
   setActiveStats(nullptr);
   setActiveTrace(nullptr);
-  if (!R) {
-    std::fprintf(stderr, "plutopp: %s\n", R.error().c_str());
-    return 1;
+  if (!BatchRes) { // invalid options; unreachable after validate() above
+    std::fprintf(stderr, "plutopp: %s\n", BatchRes.error().c_str());
+    return 2;
   }
 
-  // Without user-provided extents, emit square parametric extents using the
-  // first parameter for every array (same documented default as plutocc).
-  EmitOptions EO;
-  std::string DefaultExtent =
-      R->program().ParamNames.empty() ? "1024" : R->program().ParamNames[0];
-  for (const ArrayInfo &A : R->program().Arrays)
-    EO.Extents[A.Name] = std::vector<std::string>(A.Rank, DefaultExtent);
-  EO.SymConsts = R->Parsed.SymConsts;
-  std::string Code = emitC(R->program(), *R->Ast, EO);
-
-  if (OutPath.empty()) {
-    std::fputs(Code.c_str(), stdout);
-  } else {
-    std::ofstream Out(OutPath);
-    if (!Out) {
-      std::fprintf(stderr, "plutopp: cannot write '%s'\n", OutPath.c_str());
-      return 1;
+  // Report every failed unit (exit 1 at the end), write the successful
+  // ones: to --out/--out-dir files, or concatenated on stdout in input
+  // order (banner-separated when there are several).
+  bool AnyFailed = false, WroteStdout = false;
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const Result<CompileOutput> &R = (*BatchRes)[I];
+    if (!R) {
+      std::fprintf(stderr, "plutopp: %s: %s\n", Batch[I].Name.c_str(),
+                   R.error().c_str());
+      AnyFailed = true;
+      continue;
     }
-    Out << Code;
+    if (!OutDir.empty()) {
+      std::string Path = OutDir + "/" + stemOf(Batch[I].Name) + ".pluto.c";
+      std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+      if (Out)
+        Out.write(R->EmittedC.data(),
+                  static_cast<std::streamsize>(R->EmittedC.size()));
+      if (!Out) {
+        std::fprintf(stderr, "plutopp: cannot write '%s'\n", Path.c_str());
+        AnyFailed = true;
+      }
+    } else if (!OutPath.empty()) {
+      std::ofstream Out(OutPath, std::ios::binary | std::ios::trunc);
+      if (Out)
+        Out.write(R->EmittedC.data(),
+                  static_cast<std::streamsize>(R->EmittedC.size()));
+      if (!Out) {
+        std::fprintf(stderr, "plutopp: cannot write '%s'\n", OutPath.c_str());
+        AnyFailed = true;
+      }
+    } else {
+      if (Batch.size() > 1)
+        std::printf("/* ===== plutopp: %s ===== */\n", Batch[I].Name.c_str());
+      std::fputs(R->EmittedC.c_str(), stdout);
+      WroteStdout = true;
+    }
   }
 
   // The report goes to stderr so it never mixes with code on stdout; when
-  // the code goes to a file, stdout is free and scripts can capture the
+  // the code went to files, stdout is free and scripts can capture the
   // report (JSON in particular) cleanly there.
   if (Report != ReportMode::None) {
-    FILE *Dst = OutPath.empty() ? stderr : stdout;
+    FILE *Dst = WroteStdout ? stderr : stdout;
     if (Report == ReportMode::Json) {
-      std::fputs(Stats.toJson(&Tr).c_str(), Dst);
+      std::fputs(Stats.toJson(WantTrace ? &Tr : nullptr).c_str(), Dst);
       std::fputs("\n", Dst);
     } else {
       std::fputs(Stats.toText().c_str(), Dst);
-      std::fputs("decision trace:\n", Dst);
-      std::fputs(Tr.toText().c_str(), Dst);
+      if (WantTrace) {
+        std::fputs("decision trace:\n", Dst);
+        std::fputs(Tr.toText().c_str(), Dst);
+      }
     }
   }
-  return 0;
+  return AnyFailed ? 1 : 0;
 }
