@@ -147,6 +147,17 @@ struct PairTask {
   unsigned SI, TI, AI, BI;
 };
 
+/// Emptiness gate for one candidate polyhedron. A proven-empty candidate
+/// is discarded; a solve-budget abort (SolveStatus::Aborted inside the
+/// emptiness ILP) keeps the candidate - the conservative choice - but is
+/// accounted explicitly instead of being conflated with feasibility.
+bool candidateEmpty(const ConstraintSystem &CS) {
+  ilp::Feasibility F = CS.integerFeasibility();
+  if (F == ilp::Feasibility::Unknown)
+    count(Counter::DepKeptOnAbort);
+  return F == ilp::Feasibility::Empty;
+}
+
 /// Emits the dependences of one access pair, in the same order the serial
 /// nest produced them (input; carried levels 1..Common; loop-independent).
 std::vector<Dependence> analyzePair(const Program &Prog,
@@ -179,7 +190,7 @@ std::vector<Dependence> analyzePair(const Program &Prog,
     DepBuilder DB(Prog, S, T);
     ConstraintSystem CS = DB.base();
     DB.addAccessEquality(CS, A, B);
-    if (!CS.normalize() || CS.isIntegerEmpty())
+    if (!CS.normalize() || candidateEmpty(CS))
       return Out;
     Dependence D;
     D.SrcStmt = SI;
@@ -198,7 +209,7 @@ std::vector<Dependence> analyzePair(const Program &Prog,
     ConstraintSystem CS = DB.base();
     DB.addAccessEquality(CS, A, B);
     DB.addCarriedOrder(CS, L);
-    if (!CS.normalize() || CS.isIntegerEmpty())
+    if (!CS.normalize() || candidateEmpty(CS))
       continue;
     Dependence D;
     D.SrcStmt = SI;
@@ -216,7 +227,7 @@ std::vector<Dependence> analyzePair(const Program &Prog,
     ConstraintSystem CS = DB.base();
     DB.addAccessEquality(CS, A, B);
     DB.addLoopIndependentOrder(CS, Common);
-    if (!CS.normalize() || CS.isIntegerEmpty())
+    if (!CS.normalize() || candidateEmpty(CS))
       return Out;
     Dependence D;
     D.SrcStmt = SI;
@@ -393,6 +404,41 @@ std::vector<unsigned> DependenceGraph::sccIds(unsigned NumStmts) const {
   for (unsigned V = 0; V < NumStmts; ++V)
     Ids[V] = static_cast<unsigned>(Remap[Comp[V]]);
   return Ids;
+}
+
+std::vector<std::vector<unsigned>>
+DependenceGraph::weakComponents(unsigned NumStmts) const {
+  // Union-find over every edge (input dependences included: RAR edges
+  // couple statements through the shared cost-bounding variables, e.g.
+  // MVT's two statements are connected only through the reuse on A).
+  std::vector<unsigned> Parent(NumStmts);
+  for (unsigned V = 0; V < NumStmts; ++V)
+    Parent[V] = V;
+  std::function<unsigned(unsigned)> find = [&](unsigned V) {
+    while (Parent[V] != V) {
+      Parent[V] = Parent[Parent[V]];
+      V = Parent[V];
+    }
+    return V;
+  };
+  for (const Dependence &D : Deps) {
+    unsigned A = find(D.SrcStmt), B = find(D.DstStmt);
+    if (A != B)
+      Parent[std::max(A, B)] = std::min(A, B);
+  }
+  // Roots are component minima, so iterating statements in id order yields
+  // components ordered by smallest member with members ascending.
+  std::vector<int> CompOf(NumStmts, -1);
+  std::vector<std::vector<unsigned>> Comps;
+  for (unsigned V = 0; V < NumStmts; ++V) {
+    unsigned R = find(V);
+    if (CompOf[R] < 0) {
+      CompOf[R] = static_cast<int>(Comps.size());
+      Comps.emplace_back();
+    }
+    Comps[static_cast<unsigned>(CompOf[R])].push_back(V);
+  }
+  return Comps;
 }
 
 unsigned DependenceGraph::numSccs(unsigned NumStmts) const {

@@ -69,6 +69,15 @@ public:
   /// Number of distinct component ids returned by sccIds.
   unsigned numSccs(unsigned NumStmts) const;
 
+  /// Weakly connected components of the statement graph induced by EVERY
+  /// edge, input (RAR) dependences included: statements in different
+  /// components share no constraint of the transformation ILP - neither
+  /// legality nor the cost bounding - so the scheduler can solve them as
+  /// independent sub-problems (the clustered decomposition). Components are
+  /// ordered by their smallest statement id and list members ascending;
+  /// statements touched by no dependence form singleton components.
+  std::vector<std::vector<unsigned>> weakComponents(unsigned NumStmts) const;
+
   /// Edges with Kind != Input.
   unsigned numLegalityDeps() const;
 

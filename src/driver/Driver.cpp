@@ -39,7 +39,7 @@ bool PlutoOptions::operator==(const PlutoOptions &O) const {
          Parallelize == O.Parallelize &&
          WavefrontDegrees == O.WavefrontDegrees && Vectorize == O.Vectorize &&
          IncludeInputDeps == O.IncludeInputDeps && ParamMin == O.ParamMin &&
-         CG.MaxPieces == O.CG.MaxPieces &&
+         FastSchedule == O.FastSchedule && CG.MaxPieces == O.CG.MaxPieces &&
          CG.EnableSeparation == O.CG.EnableSeparation &&
          CG.ParallelPragmaRows == O.CG.ParallelPragmaRows;
 }
@@ -55,7 +55,8 @@ std::string PlutoOptions::fingerprint() const {
      << ";parallel=" << Parallelize
      << ";wavefront_degrees=" << WavefrontDegrees
      << ";vectorize=" << Vectorize << ";input_deps=" << IncludeInputDeps
-     << ";param_min=" << ParamMin << ";cg_max_pieces=" << CG.MaxPieces
+     << ";param_min=" << ParamMin << ";fast_schedule=" << FastSchedule
+     << ";cg_max_pieces=" << CG.MaxPieces
      << ";cg_separation=" << CG.EnableSeparation << ";cg_pragma_rows=";
   bool First = true;
   for (unsigned Row : CG.ParallelPragmaRows) {

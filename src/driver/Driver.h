@@ -52,6 +52,11 @@ struct PlutoOptions {
   bool IncludeInputDeps = true;
   /// Context assumption added for every parameter: p >= ParamMin.
   long long ParamMin = 4;
+  /// Enable the scheduler's scaling fast paths (clustered decomposition,
+  /// dimension matching, warm-started lexmin). Off reproduces the exact
+  /// monolithic search; the fast paths fall back to it whenever they
+  /// cannot prove they match, so results agree on the supported corpus.
+  bool FastSchedule = true;
   CodeGenOptions CG;
 
   /// Checks the option set for values the pipeline cannot lower (zero tile

@@ -30,11 +30,29 @@
 
 #include "observe/PassStats.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace pluto;
 using namespace pluto::ilp;
+
+namespace {
+std::atomic<unsigned> GMaxPivots{SolveLimits().MaxPivots};
+std::atomic<unsigned> GMaxCuts{SolveLimits().MaxCuts};
+} // namespace
+
+SolveLimits ilp::solveLimits() {
+  SolveLimits L;
+  L.MaxPivots = GMaxPivots.load(std::memory_order_relaxed);
+  L.MaxCuts = GMaxCuts.load(std::memory_order_relaxed);
+  return L;
+}
+
+void ilp::setSolveLimits(const SolveLimits &L) {
+  GMaxPivots.store(L.MaxPivots, std::memory_order_relaxed);
+  GMaxCuts.store(L.MaxCuts, std::memory_order_relaxed);
+}
 
 /// Set PLUTOPP_DEBUG_ILP=1 to trace pivots on stderr.
 static bool debugIlp() {
@@ -47,7 +65,7 @@ namespace {
 class Tableau {
 public:
   Tableau(const IntMatrix &Ineqs, const IntMatrix &Eqs, unsigned NumVars)
-      : NumVars(NumVars) {
+      : NumVars(NumVars), MaxIterations(solveLimits().MaxPivots) {
     // Read-out rows: x_i = u_i. These are the lexicographic objective; they
     // are never selected as pivot rows (their non-negativity is enforced by
     // the duplicate slack rows added below), so they always transform
@@ -131,14 +149,35 @@ public:
   bool aborted() const { return Aborted; }
   unsigned iterations() const { return Iterations; }
 
+  /// Appends a new constraint row a.(x, 1) >= 0, given over the ORIGINAL
+  /// problem variables, to a tableau that may already have pivoted: each
+  /// x_i is substituted by its current row expression over the non-basic
+  /// variables, so the new row lands directly in the current basis. Column
+  /// lexico-positivity is preserved (the new row is read after all existing
+  /// rows, so it can only refine columns that were identically zero).
+  void appendTransformed(const std::vector<BigInt> &Row) {
+    assert(Row.size() == NumVars + 1 && "row width mismatch");
+    std::vector<Rational> NewRow(NumVars + 1, Rational(0));
+    for (unsigned I = 0; I < NumVars; ++I) {
+      if (Row[I].isZero())
+        continue;
+      Rational F = Rational(Row[I]);
+      for (unsigned C = 0; C <= NumVars; ++C)
+        NewRow[C] += F * Rows[I][C];
+    }
+    NewRow[NumVars] += Rational(Row[NumVars]);
+    Rows.push_back(std::move(NewRow));
+  }
+
 private:
   unsigned NumVars;
   std::vector<std::vector<Rational>> Rows;
   unsigned Iterations = 0;
   bool Aborted = false;
-  // Generous cap; the structured systems Pluto produces pivot a few dozen
-  // times. The cap only guards against pathological cycling.
-  static constexpr unsigned MaxIterations = 200000;
+  // Generous cap by default (see ilp::SolveLimits); the structured systems
+  // Pluto produces pivot a few dozen times. The cap only guards against
+  // pathological cycling.
+  unsigned MaxIterations;
 
   /// Debug invariant: the read-out (objective) part of every column is
   /// lexico-non-negative. This is what certifies lex-minimality at
@@ -233,6 +272,48 @@ private:
   }
 };
 
+/// Shared driver: runs the dual simplex + Gomory cut loop on T until the
+/// integer optimum, infeasibility, or budget exhaustion. CutsUsed reports
+/// the cuts appended by this run (the tableau may carry earlier ones).
+LexMinResult runToInteger(Tableau &T, unsigned &CutsUsed) {
+  LexMinResult Result;
+  CutsUsed = 0;
+  // Cut budget: each round restores feasibility then cuts one fractional
+  // coordinate. Structured Pluto systems need a handful of cuts at most.
+  const unsigned MaxCuts = solveLimits().MaxCuts;
+  for (unsigned Cuts = 0; Cuts <= MaxCuts; ++Cuts) {
+    if (!T.dualSimplex()) {
+      Result.Status =
+          T.aborted() ? SolveStatus::Aborted : SolveStatus::Infeasible;
+      return Result;
+    }
+    int FracRow = T.firstFractionalVarRow();
+    if (FracRow < 0) {
+      Result.Status = SolveStatus::Feasible;
+      Result.Point = T.varValues();
+      return Result;
+    }
+    T.addGomoryCut(static_cast<unsigned>(FracRow));
+    ++CutsUsed;
+  }
+  Result.Status = SolveStatus::Aborted;
+  return Result;
+}
+
+/// Stats are bulk-added once per solve from the tableau totals, so the
+/// pivot loop itself stays uninstrumented. PivotsBefore subtracts pivots a
+/// reused tableau already carried when this solve began.
+void noteSolveStats(const Tableau &T, unsigned PivotsBefore,
+                    unsigned CutsUsed, bool DidAbort) {
+  if (!activeStats())
+    return;
+  count(Counter::LexMinCalls);
+  count(Counter::SimplexPivots, T.iterations() - PivotsBefore);
+  count(Counter::GomoryCuts, CutsUsed);
+  if (DidAbort)
+    count(Counter::IlpAborts);
+}
+
 } // namespace
 
 LexMinResult ilp::lexMinNonNeg(const IntMatrix &Ineqs, const IntMatrix &Eqs,
@@ -242,46 +323,90 @@ LexMinResult ilp::lexMinNonNeg(const IntMatrix &Ineqs, const IntMatrix &Eqs,
   assert((Eqs.empty() || Eqs.numCols() == NumVars + 1) &&
          "equality width mismatch");
 
-  LexMinResult Result;
   Tableau T(Ineqs, Eqs, NumVars);
   unsigned CutsUsed = 0;
-  // Stats are bulk-added once per call from the tableau's own totals, so
-  // the pivot loop itself stays uninstrumented.
-  auto NoteStats = [&](bool DidAbort) {
-    if (activeStats()) {
-      count(Counter::LexMinCalls);
-      count(Counter::SimplexPivots, T.iterations());
-      count(Counter::GomoryCuts, CutsUsed);
-      if (DidAbort)
-        count(Counter::IlpAborts);
-    }
-  };
-  // Cut budget: each round restores feasibility then cuts one fractional
-  // coordinate. Structured Pluto systems need a handful of cuts at most.
-  for (unsigned Cuts = 0; Cuts <= 2000; ++Cuts) {
-    if (!T.dualSimplex()) {
-      Result.Status =
-          T.aborted() ? SolveStatus::Aborted : SolveStatus::Infeasible;
-      NoteStats(T.aborted());
-      return Result;
-    }
-    int FracRow = T.firstFractionalVarRow();
-    if (FracRow < 0) {
-      Result.Status = SolveStatus::Feasible;
-      Result.Point = T.varValues();
-      NoteStats(false);
-      return Result;
-    }
-    T.addGomoryCut(static_cast<unsigned>(FracRow));
-    ++CutsUsed;
-  }
-  Result.Status = SolveStatus::Aborted;
-  NoteStats(true);
+  LexMinResult Result = runToInteger(T, CutsUsed);
+  noteSolveStats(T, 0, CutsUsed, Result.Status == SolveStatus::Aborted);
   return Result;
 }
 
-bool ilp::hasIntegerPoint(const IntMatrix &Ineqs, const IntMatrix &Eqs,
-                          unsigned NumVars, std::vector<BigInt> *Witness) {
+struct LexMinSolver::Impl {
+  unsigned NumVars = 0;
+  IntMatrix BaseIneqs;
+  IntMatrix BaseEqs;
+  bool HasBase = false;
+  /// Base tableau state once solved to its integer optimum (including the
+  /// Gomory cuts discovered on the way - they are valid for any subset of
+  /// the base's integer points, hence for base + extras).
+  bool BaseSolved = false;
+  SolveStatus BaseStatus = SolveStatus::Infeasible;
+  std::unique_ptr<Tableau> BaseT;
+
+  void solveBase() {
+    BaseSolved = true;
+    BaseT = std::make_unique<Tableau>(BaseIneqs, BaseEqs, NumVars);
+    unsigned CutsUsed = 0;
+    LexMinResult R = runToInteger(*BaseT, CutsUsed);
+    BaseStatus = R.Status;
+    noteSolveStats(*BaseT, 0, CutsUsed, R.Status == SolveStatus::Aborted);
+  }
+};
+
+LexMinSolver::LexMinSolver() : I(std::make_unique<Impl>()) {}
+LexMinSolver::~LexMinSolver() = default;
+LexMinSolver::LexMinSolver(LexMinSolver &&) = default;
+LexMinSolver &LexMinSolver::operator=(LexMinSolver &&) = default;
+
+void LexMinSolver::setBase(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                           unsigned NumVars) {
+  assert((Ineqs.empty() || Ineqs.numCols() == NumVars + 1) &&
+         "inequality width mismatch");
+  assert((Eqs.empty() || Eqs.numCols() == NumVars + 1) &&
+         "equality width mismatch");
+  I->NumVars = NumVars;
+  I->BaseIneqs = Ineqs;
+  I->BaseEqs = Eqs;
+  I->HasBase = true;
+  I->BaseSolved = false;
+  I->BaseT.reset();
+}
+
+bool LexMinSolver::hasBase() const { return I->HasBase; }
+
+LexMinResult LexMinSolver::solveWith(const IntMatrix &ExtraIneqs) {
+  assert(I->HasBase && "solveWith before setBase");
+  assert((ExtraIneqs.empty() || ExtraIneqs.numCols() == I->NumVars + 1) &&
+         "extra row width mismatch");
+  bool Reused = I->BaseSolved;
+  if (!I->BaseSolved)
+    I->solveBase();
+  LexMinResult Result;
+  if (I->BaseStatus == SolveStatus::Infeasible) {
+    // Extra rows can only shrink the feasible set.
+    Result.Status = SolveStatus::Infeasible;
+    return Result;
+  }
+  if (I->BaseStatus == SolveStatus::Aborted) {
+    // No usable snapshot; the caller falls back to a cold solve.
+    Result.Status = SolveStatus::Aborted;
+    return Result;
+  }
+  if (Reused)
+    count(Counter::LexMinWarmStarts);
+  Tableau T = *I->BaseT;
+  unsigned PivotsBefore = T.iterations();
+  for (unsigned R = 0; R < ExtraIneqs.numRows(); ++R)
+    T.appendTransformed(ExtraIneqs.row(R));
+  unsigned CutsUsed = 0;
+  Result = runToInteger(T, CutsUsed);
+  noteSolveStats(T, PivotsBefore, CutsUsed,
+                 Result.Status == SolveStatus::Aborted);
+  return Result;
+}
+
+Feasibility ilp::integerFeasibility(const IntMatrix &Ineqs,
+                                    const IntMatrix &Eqs, unsigned NumVars,
+                                    std::vector<BigInt> *Witness) {
   // Split x_i = p_i - n_i with p_i, n_i >= 0.
   auto split = [&](const IntMatrix &M) {
     IntMatrix R(2 * NumVars + 1);
@@ -297,17 +422,23 @@ bool ilp::hasIntegerPoint(const IntMatrix &Ineqs, const IntMatrix &Eqs,
     return R;
   };
   LexMinResult LM = lexMinNonNeg(split(Ineqs), split(Eqs), 2 * NumVars);
-  // On a budget abort (never observed on this code base's systems), answer
-  // conservatively: claiming a point exists keeps dependences and codegen
-  // pieces, which is always safe.
   if (LM.Status == SolveStatus::Aborted)
-    return true;
+    return Feasibility::Unknown;
   if (!LM.feasible())
-    return false;
+    return Feasibility::Empty;
   if (Witness) {
     Witness->clear();
     for (unsigned I = 0; I < NumVars; ++I)
       Witness->push_back(LM.Point[2 * I] - LM.Point[2 * I + 1]);
   }
-  return true;
+  return Feasibility::HasPoint;
+}
+
+bool ilp::hasIntegerPoint(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                          unsigned NumVars, std::vector<BigInt> *Witness) {
+  // On a budget abort (never observed on this code base's systems), answer
+  // conservatively: claiming a point exists keeps dependences and codegen
+  // pieces, which is always safe.
+  return integerFeasibility(Ineqs, Eqs, NumVars, Witness) !=
+         Feasibility::Empty;
 }

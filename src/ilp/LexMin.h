@@ -25,6 +25,7 @@
 
 #include "support/Matrix.h"
 
+#include <memory>
 #include <vector>
 
 namespace pluto {
@@ -36,6 +37,34 @@ enum class SolveStatus {
   Infeasible, ///< No integer point satisfies the constraints.
   Aborted,    ///< Cut/iteration budget exhausted (should not happen on the
               ///< structured systems this code base produces).
+};
+
+/// Pivot/cut budgets for one lexmin query. The defaults are generous caps
+/// that only guard against pathological cycling; tests shrink them to force
+/// SolveStatus::Aborted deterministically.
+struct SolveLimits {
+  unsigned MaxPivots = 200000;
+  unsigned MaxCuts = 2000;
+};
+
+/// The process-wide budgets consulted by every solve. Reads are relaxed
+/// atomic loads, so dependence analysis may solve from OpenMP workers while
+/// the limits stay fixed; writers must not race with in-flight solves.
+SolveLimits solveLimits();
+void setSolveLimits(const SolveLimits &L);
+
+/// RAII override of the global solve limits (tests forcing tiny budgets).
+class ScopedSolveLimits {
+public:
+  explicit ScopedSolveLimits(const SolveLimits &L) : Old(solveLimits()) {
+    setSolveLimits(L);
+  }
+  ~ScopedSolveLimits() { setSolveLimits(Old); }
+  ScopedSolveLimits(const ScopedSolveLimits &) = delete;
+  ScopedSolveLimits &operator=(const ScopedSolveLimits &) = delete;
+
+private:
+  SolveLimits Old;
 };
 
 struct LexMinResult {
@@ -53,12 +82,62 @@ struct LexMinResult {
 LexMinResult lexMinNonNeg(const IntMatrix &Ineqs, const IntMatrix &Eqs,
                           unsigned NumVars);
 
+/// Tri-state integer feasibility verdict: Unknown means the solve budget
+/// was exhausted before a proof either way (callers must treat it
+/// conservatively, and explicitly - see SolveStatus::Aborted).
+enum class Feasibility {
+  HasPoint,
+  Empty,
+  Unknown,
+};
+
 /// Integer feasibility of Ineqs * (x, 1) >= 0, Eqs * (x, 1) == 0 where the
 /// x_i may take any sign. Implemented by splitting each variable into a
-/// difference of two non-negative ones. Returns true iff an integer point
-/// exists; if Witness is non-null and a point exists, it receives one.
+/// difference of two non-negative ones. If Witness is non-null and a point
+/// is found, it receives one.
+Feasibility integerFeasibility(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+                               unsigned NumVars,
+                               std::vector<BigInt> *Witness = nullptr);
+
+/// Convenience wrapper over integerFeasibility: true iff a point exists OR
+/// the budget ran out (claiming a point exists is the conservative answer
+/// for every caller in this code base - dependences and codegen pieces are
+/// kept, never wrongly dropped).
 bool hasIntegerPoint(const IntMatrix &Ineqs, const IntMatrix &Eqs,
                      unsigned NumVars, std::vector<BigInt> *Witness = nullptr);
+
+/// Reusable lexmin solver for the transform framework's per-band systems
+/// (the warm-started incremental path). setBase() installs the constraint
+/// rows shared by every query of one band (legality + bounding + the
+/// trivial-solution guards); the first solveWith() call runs the base
+/// system to its integer optimum and snapshots the tableau; subsequent
+/// calls copy the snapshot, append the per-query rows (the linear
+/// independence constraints, which are replaced - not grown - between
+/// iterations) rewritten into the snapshot's basis, and resume the dual
+/// simplex from there instead of re-solving from scratch. The integer
+/// lexicographic minimum is unique, so a warm solve returns exactly what a
+/// cold lexMinNonNeg over base + extras would; on Aborted the caller falls
+/// back to a cold solve.
+class LexMinSolver {
+public:
+  LexMinSolver();
+  ~LexMinSolver();
+  LexMinSolver(LexMinSolver &&);
+  LexMinSolver &operator=(LexMinSolver &&);
+
+  /// Installs the shared constraint rows; resets any cached tableau.
+  void setBase(const IntMatrix &Ineqs, const IntMatrix &Eqs,
+               unsigned NumVars);
+  bool hasBase() const;
+
+  /// Lexmin of base + ExtraIneqs (inequality rows over [vars | 1]; may be
+  /// empty). Counts Counter::LexMinWarmStarts when served from a snapshot.
+  LexMinResult solveWith(const IntMatrix &ExtraIneqs);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace ilp
 } // namespace pluto

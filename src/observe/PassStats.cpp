@@ -43,6 +43,8 @@ const char *pluto::counterName(Counter C) {
     return "gomory_cuts";
   case Counter::IlpAborts:
     return "ilp_aborts";
+  case Counter::LexMinWarmStarts:
+    return "lexmin_warm_starts";
   case Counter::FmEliminations:
     return "fm_eliminations";
   case Counter::FmRowsGenerated:
@@ -67,12 +69,18 @@ const char *pluto::counterName(Counter C) {
     return "dep_loop_independent";
   case Counter::DepCarried:
     return "dep_carried";
+  case Counter::DepKeptOnAbort:
+    return "dep_kept_on_abort";
   case Counter::HyperplanesFound:
     return "hyperplanes_found";
   case Counter::SccCuts:
     return "scc_cuts";
   case Counter::TextualOrderRows:
     return "textual_order_rows";
+  case Counter::ScheduleFastPathHits:
+    return "schedule_fastpath_hits";
+  case Counter::ScheduleFastPathFallbacks:
+    return "schedule_fastpath_fallbacks";
   case Counter::BandsTiled:
     return "bands_tiled";
   case Counter::WavefrontsApplied:
@@ -112,6 +120,8 @@ void PassStats::clear() {
     C.store(0, std::memory_order_relaxed);
   for (auto &L : DepsAtLevel)
     L.store(0, std::memory_order_relaxed);
+  for (auto &C : ClustersOfSize)
+    C.store(0, std::memory_order_relaxed);
   for (auto &S : PassSeconds)
     S.store(0.0, std::memory_order_relaxed);
 }
@@ -132,6 +142,10 @@ std::string PassStats::toJson(const Trace *T) const {
   OS << "\n  },\n  \"deps_by_level\": [";
   for (unsigned L = 0; L < MaxDepLevels; ++L)
     OS << (L ? ", " : "") << DepsAtLevel[L].load(std::memory_order_relaxed);
+  OS << "],\n  \"clusters_by_size\": [";
+  for (unsigned C = 0; C < MaxClusterSizes; ++C)
+    OS << (C ? ", " : "")
+       << ClustersOfSize[C].load(std::memory_order_relaxed);
   OS << "]";
   if (T)
     OS << ",\n  \"trace\": " << T->toJson();
@@ -161,6 +175,11 @@ std::string PassStats::toText() const {
   OS << "dependence edges by first carry level (0 = loop-independent):\n ";
   for (unsigned L = 0; L < MaxDepLevels; ++L)
     OS << " " << DepsAtLevel[L].load(std::memory_order_relaxed);
+  OS << "\n";
+  OS << "scheduler clusters by statement count (1.." << MaxClusterSizes
+     << "+):\n ";
+  for (unsigned C = 0; C < MaxClusterSizes; ++C)
+    OS << " " << ClustersOfSize[C].load(std::memory_order_relaxed);
   OS << "\n";
   return OS.str();
 }

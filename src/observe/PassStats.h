@@ -56,6 +56,7 @@ enum class Counter : unsigned {
   SimplexPivots,
   GomoryCuts,
   IlpAborts,
+  LexMinWarmStarts, ///< solves served from a warm-started band tableau
   // poly/ - Fourier-Motzkin core.
   FmEliminations,  ///< variable eliminations performed via FM combination
   FmRowsGenerated, ///< lower*upper combinations formed across eliminations
@@ -70,10 +71,13 @@ enum class Counter : unsigned {
   DepInput,
   DepLoopIndependent, ///< edges satisfied only at the textual level
   DepCarried,         ///< edges carried by some loop level
+  DepKeptOnAbort,     ///< candidates kept conservatively on a solver abort
   // transform/ - the Pluto algorithm.
   HyperplanesFound,
   SccCuts,
   TextualOrderRows,
+  ScheduleFastPathHits,      ///< hyperplanes from dimension matching
+  ScheduleFastPathFallbacks, ///< rows that needed the exact lexmin ILP
   // tile/ - Algorithms 1 & 2, section 5.4.
   BandsTiled,
   WavefrontsApplied,
@@ -105,6 +109,10 @@ const char *passName(Pass P);
 /// are clamped into the last bucket.
 constexpr unsigned MaxDepLevels = 8;
 
+/// Buckets of the scheduler's cluster-size histogram: bucket I counts
+/// clusters of I + 1 statements, larger clusters clamp into the last.
+constexpr unsigned MaxClusterSizes = 8;
+
 /// One run's worth of statistics. Instances are plain data; install one
 /// with setActiveStats() to start collecting.
 struct PassStats {
@@ -112,6 +120,9 @@ struct PassStats {
   /// deps-by-depth histogram: bucket 0 = loop-independent, bucket L = edges
   /// first carried at loop level L (clamped to MaxDepLevels - 1).
   std::atomic<uint64_t> DepsAtLevel[MaxDepLevels];
+  /// Scheduler decomposition histogram: bucket I counts weakly-connected
+  /// clusters of I + 1 statements (clamped to MaxClusterSizes - 1).
+  std::atomic<uint64_t> ClustersOfSize[MaxClusterSizes];
   /// Wall-clock seconds per pass. Atomic because compileBatch() runs
   /// pipeline stages on worker threads that all feed one sink; accumulation
   /// goes through addSeconds() (a CAS loop - timers fire once per stage, so
@@ -173,6 +184,17 @@ inline void countDepAtLevel(unsigned Level) {
   if (PassStats *S = activeStats()) {
     unsigned B = Level < MaxDepLevels ? Level : MaxDepLevels - 1;
     S->DepsAtLevel[B].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Records one scheduler cluster of Size statements (Size >= 1) in the
+/// cluster-size histogram.
+inline void countClusterOfSize(unsigned Size) {
+  if (PassStats *S = activeStats()) {
+    unsigned B = Size == 0 ? 0 : Size - 1;
+    if (B >= MaxClusterSizes)
+      B = MaxClusterSizes - 1;
+    S->ClustersOfSize[B].fetch_add(1, std::memory_order_relaxed);
   }
 }
 

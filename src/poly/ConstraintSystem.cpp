@@ -110,8 +110,12 @@ void ConstraintSystem::insertDims(unsigned Pos, unsigned Count) {
 }
 
 bool ConstraintSystem::isIntegerEmpty() const {
+  return integerFeasibility() == ilp::Feasibility::Empty;
+}
+
+ilp::Feasibility ConstraintSystem::integerFeasibility() const {
   count(Counter::EmptinessTests);
-  return !ilp::hasIntegerPoint(Ineqs, Eqs, NumVars);
+  return ilp::integerFeasibility(Ineqs, Eqs, NumVars);
 }
 
 bool ConstraintSystem::impliesIneq(const std::vector<BigInt> &Row) const {

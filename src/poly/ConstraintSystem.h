@@ -20,6 +20,7 @@
 #ifndef PLUTOPP_POLY_CONSTRAINTSYSTEM_H
 #define PLUTOPP_POLY_CONSTRAINTSYSTEM_H
 
+#include "ilp/LexMin.h"
 #include "support/Matrix.h"
 
 #include <string>
@@ -64,8 +65,14 @@ public:
   /// Inserts Count fresh unconstrained variables at position Pos.
   void insertDims(unsigned Pos, unsigned Count);
 
-  /// True iff the system has no integer solution (exact).
+  /// True iff the system has no integer solution (exact). A solve-budget
+  /// abort answers false (conservatively non-empty); callers that must
+  /// distinguish the abort use integerFeasibility().
   bool isIntegerEmpty() const;
+
+  /// Tri-state integer feasibility (ilp::Feasibility::Unknown on a solve
+  /// budget abort instead of the conservative answer).
+  ilp::Feasibility integerFeasibility() const;
 
   /// True iff every integer point of this system satisfies Row.(x,1) >= 0.
   bool impliesIneq(const std::vector<BigInt> &Row) const;

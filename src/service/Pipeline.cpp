@@ -164,10 +164,14 @@ Result<const Schedule *> Pipeline::scheduled() {
   if (!D)
     return Err(D.error());
   ScopedPassTimer Timer(Pass::Schedule);
+  TransformOptions TO;
+  TO.Decompose = Opts.FastSchedule;
+  TO.DimensionMatch = Opts.FastSchedule;
+  TO.WarmStart = Opts.FastSchedule;
   // computeSchedule records per-edge satisfaction levels into the graph;
   // the memoized DepsArt carries them afterwards, exactly like the
   // DG member of the one-shot PlutoResult always has.
-  auto S = computeSchedule(ParsedArt->Prog, *DepsArt);
+  auto S = computeSchedule(ParsedArt->Prog, *DepsArt, TO);
   if (!S)
     return Err(S.error());
   SchedArt = std::move(*S);

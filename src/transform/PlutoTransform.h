@@ -30,6 +30,22 @@ namespace pluto {
 struct TransformOptions {
   /// Safety cap on the number of schedule rows (cuts included).
   unsigned MaxRows = 64;
+  /// Partition the dependence graph into weakly connected clusters (every
+  /// edge counts, input dependences included), run the algorithm on
+  /// cluster-local constraint systems and stitch the per-cluster schedules
+  /// back together. Clusters share no ILP constraint, so this turns one
+  /// O(all statements) lexmin into many small ones.
+  bool Decompose = true;
+  /// Before paying for a lexmin solve, propose candidate hyperplanes by
+  /// matching original loop dimensions across statements and verify
+  /// legality, zero cost and linear independence by direct evaluation
+  /// against the same Farkas-eliminated systems the exact ILP would solve.
+  /// Falls back to the exact path whenever no candidate verifies.
+  bool DimensionMatch = true;
+  /// Keep the simplex tableau of the band's shared constraint rows warm
+  /// between lexmin calls (only the linear-independence rows change from
+  /// one hyperplane to the next within a band).
+  bool WarmStart = true;
 };
 
 /// Runs the Pluto algorithm. On success the returned schedule has one

@@ -125,7 +125,7 @@ TEST(OptionsTest, EqualityIsFieldWise) {
 
 TEST(OptionsTest, FingerprintIsSensitiveToEveryField) {
   const PlutoOptions Base;
-  std::vector<PlutoOptions> Variants(12, Base);
+  std::vector<PlutoOptions> Variants(13, Base);
   Variants[0].Tile = false;
   Variants[1].TileSize = 16;
   Variants[2].SecondLevelTile = true;
@@ -138,6 +138,7 @@ TEST(OptionsTest, FingerprintIsSensitiveToEveryField) {
   Variants[9].CG.MaxPieces = 12;
   Variants[10].CG.EnableSeparation = false;
   Variants[11].CG.ParallelPragmaRows.insert(1);
+  Variants[12].FastSchedule = false;
 
   std::set<std::string> Fps;
   Fps.insert(Base.fingerprint());

@@ -50,6 +50,10 @@ const char *UsageText =
     "  --vectorize / --no-vectorize    intra-tile reordering + simd (on)\n"
     "  --include-input-deps / --no-include-input-deps\n"
     "                                  RAR deps in the cost model (on)\n"
+    "  --fast-schedule / --no-fast-schedule\n"
+    "                                  scheduler scaling fast paths:\n"
+    "                                  clustered decomposition, dimension\n"
+    "                                  matching, warm-started lexmin (on)\n"
     "  --param-min=N                   context assumption p >= N (4)\n"
     "\n"
     "service options:\n"
@@ -136,6 +140,10 @@ int main(int argc, char **argv) {
       Opts.IncludeInputDeps = true;
     else if (A == "--no-include-input-deps")
       Opts.IncludeInputDeps = false;
+    else if (A == "--fast-schedule")
+      Opts.FastSchedule = true;
+    else if (A == "--no-fast-schedule")
+      Opts.FastSchedule = false;
     else if (A.rfind("--param-min=", 0) == 0)
       Opts.ParamMin = numArg(A, 12);
     else if (A.rfind("--jobs=", 0) == 0) {

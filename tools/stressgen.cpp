@@ -1,0 +1,44 @@
+//===- tools/stressgen.cpp - Stress-program generator CLI -----------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// Emits a deterministic synthetic scheduler-stress program (see
+// support/StressGen.h) on stdout. Used by scripts/ci-sanitize.sh to
+// produce a 25-statement input without checking a generated file into the
+// tree, and handy for ad-hoc scaling experiments:
+//
+//   stressgen 100 | plutopp --tile --parallel /dev/stdin
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StressGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char **argv) {
+  unsigned NumStatements = 25;
+  unsigned long long Seed = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--help") == 0 ||
+        std::strcmp(argv[I], "-h") == 0) {
+      std::fprintf(stderr, "usage: stressgen [num-statements] [seed]\n");
+      return 0;
+    }
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(argv[I], &End, 10);
+    if (End == argv[I] || *End != '\0') {
+      std::fprintf(stderr, "stressgen: expected a number, got '%s'\n",
+                   argv[I]);
+      return 1;
+    }
+    if (I == 1)
+      NumStatements = static_cast<unsigned>(V);
+    else
+      Seed = V;
+  }
+  std::string Src = pluto::generateStressProgram(NumStatements, Seed);
+  std::fwrite(Src.data(), 1, Src.size(), stdout);
+  return 0;
+}
