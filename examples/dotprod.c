@@ -1,0 +1,3 @@
+for (i = 0; i < N; i++) {
+  s += a[i] * b[i];
+}

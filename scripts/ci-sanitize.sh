@@ -87,3 +87,39 @@ if ! diff "$BUILD_DIR/ci-stress25-fast.c" "$BUILD_DIR/ci-stress25-exact.c" \
 fi
 rm -f "$STRESS" "$BUILD_DIR/ci-stress25-fast.c" "$BUILD_DIR/ci-stress25-exact.c"
 echo "ci-sanitize: scheduler fast-path equivalence OK"
+
+# Frontend diagnostics smoke run: every file of the malformed-input corpus
+# must be rejected with exit code 2 (the bad-input class) under the
+# sanitizers - multi-error recovery walks the recovery/synchronize paths
+# that ASan is most likely to catch out of bounds.
+for BAD in "$SRC_DIR"/tests/corpus/*.c; do
+  if ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+     UBSAN_OPTIONS=print_stacktrace=1 \
+       "$CLI" "$BAD" > /dev/null 2>&1; then
+    echo "ci-sanitize: plutopp accepted malformed input $BAD" >&2
+    exit 1
+  fi
+  STATUS=0
+  ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    "$CLI" "$BAD" > /dev/null 2>&1 || STATUS=$?
+  if [ "$STATUS" -ne 2 ]; then
+    echo "ci-sanitize: expected exit 2 for $BAD, got $STATUS" >&2
+    exit 1
+  fi
+done
+echo "ci-sanitize: malformed-input corpus rejected with exit 2 OK"
+
+# Reduction kernel smoke run: the dot product must come back parallel
+# with a reduction clause on its pragma.
+RED_OUT="$BUILD_DIR/ci-dotprod.c"
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  "$CLI" "$SRC_DIR/examples/dotprod.c" > "$RED_OUT" 2> /dev/null
+if ! grep -q 'pragma omp parallel for' "$RED_OUT" ||
+   ! grep -q 'reduction(+:s)' "$RED_OUT"; then
+  echo "ci-sanitize: dot product lost its reduction pragma" >&2
+  exit 1
+fi
+rm -f "$RED_OUT"
+echo "ci-sanitize: reduction parallelization OK"

@@ -17,6 +17,7 @@
 #ifndef PLUTOPP_CODEGEN_AST_H
 #define PLUTOPP_CODEGEN_AST_H
 
+#include "ir/Program.h"
 #include "support/BigInt.h"
 
 #include <memory>
@@ -83,6 +84,9 @@ struct CgNode {
   /// Loop annotations.
   bool Parallel = false; ///< Emit "#pragma omp parallel for".
   bool Vector = false;   ///< Emit "#pragma omp simd".
+  /// Reduction clauses the parallel pragma must carry (loop is parallel
+  /// only under them); empty for ordinary parallel loops.
+  std::vector<ReductionClause> Reductions;
   std::vector<CgNodePtr> Children;
 
   static CgNodePtr block();

@@ -549,6 +549,8 @@ private:
   void annotateLoop(CgNode &Loop, unsigned Level) const {
     Loop.Parallel = Opts.ParallelPragmaRows.count(Level) != 0;
     Loop.Vector = S.Rows[Level].IsVector && S.Rows[Level].IsParallel;
+    if (Loop.Parallel)
+      Loop.Reductions = S.Rows[Level].Reductions;
   }
 
   CgNodePtr emitLoopForRegion(unsigned Level, const ConstraintSystem &Region,

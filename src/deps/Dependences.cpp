@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <set>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -242,6 +243,55 @@ std::vector<Dependence> analyzePair(const Program &Prog,
   return Out;
 }
 
+/// True when E contains a Var/ArrayRef naming Name.
+bool readsName(const Expr &E, const std::string &Name) {
+  if ((E.K == Expr::Kind::Var || E.K == Expr::Kind::ArrayRef) &&
+      E.Name == Name)
+    return true;
+  for (const ExprPtr &A : E.Args)
+    if (readsName(*A, Name))
+      return true;
+  return false;
+}
+
+/// A reduction statement is an associative compound assignment `x op= e`
+/// (op in {+,-,*}) whose RHS never reads the target x, onto a target of
+/// rank <= 1. The rank cap matches what the emitter can express as an
+/// OpenMP reduction clause: scalars directly, rank-1 arrays via an OpenMP
+/// 4.5 array section; higher ranks stay serialized (conservative).
+bool isReductionStmt(const Program &Prog, const Statement &S) {
+  const std::string &Op = S.Body.AsgnOp;
+  if (Op != "+=" && Op != "-=" && Op != "*=")
+    return false;
+  if (!S.Body.Lhs || !S.Body.Rhs)
+    return false;
+  if (readsName(*S.Body.Rhs, S.Body.Lhs->Name))
+    return false;
+  const ArrayInfo *AI = Prog.findArray(S.Body.Lhs->Name);
+  return AI && AI->Rank <= 1;
+}
+
+/// Tags the self dependences that form a reduction cycle: for a reduction
+/// statement, the flow/anti/output edges between its own write (access 0)
+/// and compound read (access 1) of the target. Edges touching any other
+/// access (an RHS read of a different array) are genuine dependences and
+/// stay untagged.
+void tagReductions(const Program &Prog, DependenceGraph &G) {
+  std::vector<bool> IsRed(Prog.Stmts.size(), false);
+  for (unsigned I = 0; I < Prog.Stmts.size(); ++I)
+    IsRed[I] = isReductionStmt(Prog, Prog.Stmts[I]);
+  for (Dependence &D : G.Deps) {
+    if (D.Kind == DepKind::Input)
+      continue;
+    if (D.SrcStmt != D.DstStmt || !IsRed[D.SrcStmt])
+      continue;
+    if (D.SrcAcc > 1 || D.DstAcc > 1)
+      continue; // Only the statement's own update of the target.
+    D.IsReduction = true;
+    D.RedOp = Prog.Stmts[D.SrcStmt].Body.AsgnOp[0];
+  }
+}
+
 } // namespace
 
 DependenceGraph pluto::computeDependences(const Program &Prog,
@@ -285,10 +335,17 @@ DependenceGraph pluto::computeDependences(const Program &Prog,
     for (Dependence &D : R)
       G.Deps.push_back(std::move(D));
 
+  tagReductions(Prog, G);
+
   // Edge census, taken serially after the parallel region so collection
   // never contends with the OpenMP pair loop.
   if (activeStats()) {
     count(Counter::DepCandidates, Tasks.size());
+    std::set<unsigned> RedStmts;
+    for (const Dependence &D : G.Deps)
+      if (D.IsReduction)
+        RedStmts.insert(D.SrcStmt);
+    count(Counter::ReductionsDetected, RedStmts.size());
     for (const Dependence &D : G.Deps) {
       switch (D.Kind) {
       case DepKind::Flow:
@@ -461,6 +518,8 @@ std::string DependenceGraph::toString(const Program &Prog) const {
       S += D.CarryLevel == 0
                ? " (loop-independent)"
                : " (carried at level " + std::to_string(D.CarryLevel) + ")";
+    if (D.IsReduction)
+      S += std::string(" [reduction ") + D.RedOp + "]";
     S += "\n";
     std::vector<std::string> Names;
     for (const std::string &N : Src.IterNames)

@@ -53,6 +53,15 @@ struct Dependence {
   /// level (row) at which the dependence became strongly satisfied, or -1.
   int SatisfiedAtRow = -1;
 
+  /// True for self dependences of an associative compound assignment
+  /// (`x += e`, `-=`, `*=` with x not read by e): the paper's framework must
+  /// still honor them when choosing transformations, but a loop that carries
+  /// only reduction dependences can run parallel under an OpenMP
+  /// `reduction(Op:x)` clause, so parallelism detection ignores them.
+  bool IsReduction = false;
+  /// Reduction operator ('+', '-', '*'); meaningful when IsReduction.
+  char RedOp = 0;
+
   bool isLegalityDep() const { return Kind != DepKind::Input; }
   bool satisfied() const { return SatisfiedAtRow >= 0; }
 };

@@ -219,6 +219,26 @@ for (i = 0; i < N; i++) {
 }
 )";
 
+/// Scalar reduction: the loop carries only the associative accumulation
+/// into s, so it parallelizes under `reduction(+:s)` and not otherwise.
+inline const char *DotProduct = R"(
+for (i = 0; i < N; i++) {
+  s += a[i] * b[i];
+}
+)";
+
+/// Transposed matrix-vector accumulation (atax-like): the outer loop
+/// carries only the reduction into y, whose element is chosen by the inner
+/// iterator - parallelizing the carrier needs an OpenMP 4.5 array-section
+/// clause `reduction(+:y[0:N])`.
+inline const char *MatVecT = R"(
+for (i = 0; i < N; i++) {
+  for (j = 0; j < N; j++) {
+    y[j] += a[i][j] * x[i];
+  }
+}
+)";
+
 } // namespace kernels
 } // namespace pluto
 

@@ -67,6 +67,23 @@ public:
   }
 };
 
+/// An OpenMP reduction clause entry attached to a parallel loop: the array
+/// (or scalar, Rank 0) receiving an associative update, and the operator.
+/// Produced by reduction-aware parallelism detection in the transformation
+/// framework and carried through tiling/codegen so the emitted pragma reads
+/// `#pragma omp parallel for reduction(Op:Array)`.
+struct ReductionClause {
+  char Op = '+'; ///< '+', '-' or '*'.
+  std::string Array;
+
+  friend bool operator==(const ReductionClause &A, const ReductionClause &B) {
+    return A.Op == B.Op && A.Array == B.Array;
+  }
+  friend bool operator<(const ReductionClause &A, const ReductionClause &B) {
+    return A.Array != B.Array ? A.Array < B.Array : A.Op < B.Op;
+  }
+};
+
 /// Information about one array of the region.
 struct ArrayInfo {
   std::string Name;

@@ -71,6 +71,10 @@ const char *pluto::counterName(Counter C) {
     return "dep_carried";
   case Counter::DepKeptOnAbort:
     return "dep_kept_on_abort";
+  case Counter::ParserErrors:
+    return "parser_errors";
+  case Counter::ReductionsDetected:
+    return "reductions_detected";
   case Counter::HyperplanesFound:
     return "hyperplanes_found";
   case Counter::SccCuts:
@@ -97,6 +101,8 @@ const char *pluto::counterName(Counter C) {
     return "loops_pipeline";
   case Counter::LoopsSequential:
     return "loops_sequential";
+  case Counter::ReductionParallelLoops:
+    return "reduction_parallel_loops";
   case Counter::CacheHits:
     return "cache_hits";
   case Counter::CacheDiskHits:
@@ -126,7 +132,7 @@ void PassStats::clear() {
     S.store(0.0, std::memory_order_relaxed);
 }
 
-std::string PassStats::toJson(const Trace *T) const {
+std::string PassStats::toJson(const Trace *T, const std::string *Extra) const {
   std::ostringstream OS;
   OS << "{\n  \"passes\": {";
   for (unsigned P = 0; P < static_cast<unsigned>(Pass::NumPasses); ++P) {
@@ -149,6 +155,8 @@ std::string PassStats::toJson(const Trace *T) const {
   OS << "]";
   if (T)
     OS << ",\n  \"trace\": " << T->toJson();
+  if (Extra && !Extra->empty())
+    OS << ",\n  " << *Extra;
   OS << "\n}";
   return OS.str();
 }

@@ -63,6 +63,8 @@ enum class Counter : unsigned {
   FmRowsPruned,    ///< generated rows dropped by inline/Imbert pruning
   RedundancyChecks,
   EmptinessTests,
+  // parser/ - frontend diagnostics.
+  ParserErrors, ///< error diagnostics produced by the frontend
   // deps/ - dependence analysis.
   DepCandidates, ///< conflicting access pairs tested
   DepFlow,
@@ -72,6 +74,7 @@ enum class Counter : unsigned {
   DepLoopIndependent, ///< edges satisfied only at the textual level
   DepCarried,         ///< edges carried by some loop level
   DepKeptOnAbort,     ///< candidates kept conservatively on a solver abort
+  ReductionsDetected, ///< statements whose self-deps form a reduction cycle
   // transform/ - the Pluto algorithm.
   HyperplanesFound,
   SccCuts,
@@ -89,6 +92,7 @@ enum class Counter : unsigned {
   LoopsParallel,
   LoopsPipeline,
   LoopsSequential,
+  ReductionParallelLoops, ///< parallel rows that needed reduction clauses
   // service/ - compilation-service layer (Pipeline sessions, result cache).
   CacheHits,      ///< in-memory result-cache hits
   CacheDiskHits,  ///< hits served from the persistent on-disk cache
@@ -149,7 +153,11 @@ struct PassStats {
   /// Serializes this run to the JSON document described in DESIGN.md
   /// section 8 ({"passes": {...}, "counters": {...}, "deps_by_level": [...],
   /// "trace": [...]}); the "trace" member is present iff T is non-null.
-  std::string toJson(const Trace *T = nullptr) const;
+  /// Extra, when non-null, is spliced verbatim as additional top-level
+  /// members (callers pass pre-rendered JSON like
+  /// `"diagnostics": [...]`).
+  std::string toJson(const Trace *T = nullptr,
+                     const std::string *Extra = nullptr) const;
 
   /// Human-readable multi-line report (the non-JSON --report form).
   std::string toText() const;

@@ -6,7 +6,8 @@
 
 #include "observe/Trace.h"
 
-#include <cstdio>
+#include "support/Json.h"
+
 #include <sstream>
 
 using namespace pluto;
@@ -20,44 +21,13 @@ std::string Trace::toText() const {
   return OS.str();
 }
 
-static void appendJsonString(std::ostringstream &OS, const std::string &S) {
-  OS << '"';
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      OS << "\\\"";
-      break;
-    case '\\':
-      OS << "\\\\";
-      break;
-    case '\n':
-      OS << "\\n";
-      break;
-    case '\t':
-      OS << "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        OS << Buf;
-      } else {
-        OS << C;
-      }
-    }
-  }
-  OS << '"';
-}
-
 std::string Trace::toJson() const {
   std::ostringstream OS;
   OS << "[";
   for (size_t I = 0; I < Events.size(); ++I) {
-    OS << (I ? "," : "") << "\n    {\"stage\": ";
-    appendJsonString(OS, Events[I].Stage);
-    OS << ", \"message\": ";
-    appendJsonString(OS, Events[I].Message);
-    OS << "}";
+    OS << (I ? "," : "") << "\n    {\"stage\": "
+       << jsonQuote(Events[I].Stage)
+       << ", \"message\": " << jsonQuote(Events[I].Message) << "}";
   }
   OS << (Events.empty() ? "]" : "\n  ]");
   return OS.str();

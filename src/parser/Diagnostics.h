@@ -1,0 +1,63 @@
+//===- parser/Diagnostics.h - Structured frontend diagnostics ---*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured source diagnostics for the restricted-C frontend: every
+/// problem carries a 1-based line:column span into the original source and
+/// a severity, and the frontend recovers at statement/loop boundaries so a
+/// single pass reports every problem instead of bailing out on the first.
+/// Columns count characters (a tab is one column); CR, CRLF and LF line
+/// endings all terminate a line. renderSnippet() produces the classic
+/// two-line source excerpt with a caret under the span.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_PARSER_DIAGNOSTICS_H
+#define PLUTOPP_PARSER_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace pluto {
+
+enum class Severity {
+  Error,
+  Warning,
+};
+
+/// One frontend diagnostic with its source span.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  unsigned Line = 1; ///< 1-based source line.
+  unsigned Col = 1;  ///< 1-based column, counting characters (tab = 1).
+  unsigned Len = 1;  ///< Span length in characters (>= 1).
+  std::string Message;
+
+  /// "line L, col C: error: message".
+  std::string toString() const;
+};
+
+/// True if any diagnostic has error severity.
+bool hasErrors(const std::vector<Diagnostic> &Diags);
+
+/// Number of error-severity diagnostics.
+unsigned errorCount(const std::vector<Diagnostic> &Diags);
+
+/// All diagnostics, one per line (the single-string compatibility form).
+std::string joinDiagnostics(const std::vector<Diagnostic> &Diags);
+
+/// The two-line source excerpt for D: the offending line (tabs expanded to
+/// one space so the caret math stays character-based) followed by a caret
+/// line marking [Col, Col + Len). Empty when D.Line is out of range.
+std::string renderSnippet(const std::string &Source, const Diagnostic &D);
+
+/// Full human-readable report: toString() + snippet per diagnostic.
+std::string renderDiagnostics(const std::string &Source,
+                              const std::vector<Diagnostic> &Diags);
+
+} // namespace pluto
+
+#endif // PLUTOPP_PARSER_DIAGNOSTICS_H

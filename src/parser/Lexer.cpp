@@ -11,18 +11,28 @@
 using namespace pluto;
 
 std::vector<Token> pluto::tokenize(const std::string &Source,
-                                   std::string &Error) {
+                                   std::vector<Diagnostic> &Diags) {
   std::vector<Token> Tokens;
-  Error.clear();
   unsigned Line = 1, Col = 1;
   size_t I = 0, N = Source.size();
 
   auto advance = [&](size_t Count) {
     for (size_t K = 0; K < Count && I < N; ++K, ++I) {
-      if (Source[I] == '\n') {
+      char C = Source[I];
+      if (C == '\n') {
         ++Line;
         Col = 1;
+      } else if (C == '\r') {
+        // CRLF: the CR occupies no column, the LF ends the line. A lone CR
+        // (classic-Mac line ending) ends the line itself.
+        if (I + 1 >= N || Source[I + 1] != '\n') {
+          ++Line;
+          Col = 1;
+        }
       } else {
+        // Character-based columns: a tab is one column, like any other
+        // character (diagnostic rendering expands tabs to single spaces so
+        // carets still line up).
         ++Col;
       }
     }
@@ -44,7 +54,7 @@ std::vector<Token> pluto::tokenize(const std::string &Source,
     }
     // Line comments, block comments and #pragma / preprocessor lines.
     if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
-      while (I < N && Source[I] != '\n')
+      while (I < N && Source[I] != '\n' && Source[I] != '\r')
         advance(1);
       continue;
     }
@@ -56,7 +66,7 @@ std::vector<Token> pluto::tokenize(const std::string &Source,
       continue;
     }
     if (C == '#') {
-      while (I < N && Source[I] != '\n')
+      while (I < N && Source[I] != '\n' && Source[I] != '\r')
         advance(1);
       continue;
     }
@@ -114,10 +124,25 @@ std::vector<Token> pluto::tokenize(const std::string &Source,
       advance(1);
       continue;
     }
-    Error = "line " + std::to_string(Line) + ": unexpected character '" +
-            std::string(1, C) + "'";
-    break;
+    // Invalid character: report with the exact span and keep going, so one
+    // pass surfaces every bad byte of the input.
+    Diagnostic D;
+    D.Line = Line;
+    D.Col = Col;
+    D.Len = 1;
+    D.Message = "unexpected character '" + std::string(1, C) + "'";
+    Diags.push_back(std::move(D));
+    advance(1);
   }
   push(Token::Kind::End, "", Line, Col);
   return Tokens;
 }
+
+std::vector<Token> pluto::tokenize(const std::string &Source,
+                                   std::string &Error) {
+  std::vector<Diagnostic> Diags;
+  std::vector<Token> Tokens = tokenize(Source, Diags);
+  Error = Diags.empty() ? std::string() : Diags.front().toString();
+  return Tokens;
+}
+

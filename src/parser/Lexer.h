@@ -15,6 +15,8 @@
 #ifndef PLUTOPP_PARSER_LEXER_H
 #define PLUTOPP_PARSER_LEXER_H
 
+#include "parser/Diagnostics.h"
+
 #include <string>
 #include <vector>
 
@@ -42,8 +44,16 @@ struct Token {
   }
 };
 
-/// Tokenizes Source. On invalid characters, Error is set and tokenization
-/// stops (the token stream ends with an End token either way).
+/// Tokenizes Source. Invalid characters produce one error diagnostic each
+/// (with the exact line:column span) and are skipped, so the stream always
+/// covers the whole input; it ends with an End token. Line/column tracking
+/// counts characters: a tab occupies one column, and CR, LF and CRLF all
+/// terminate a line (a CR that is part of a CRLF pair occupies no column).
+std::vector<Token> tokenize(const std::string &Source,
+                            std::vector<Diagnostic> &Diags);
+
+/// Single-string compatibility wrapper: tokenizes with full recovery and
+/// sets Error to the first diagnostic (empty when the input is clean).
 std::vector<Token> tokenize(const std::string &Source, std::string &Error);
 
 } // namespace pluto

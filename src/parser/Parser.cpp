@@ -2,18 +2,29 @@
 //
 // Part of plutopp, a reproduction of the PLDI'08 Pluto system.
 //
+// Error handling: every problem is recorded as a Diagnostic with the
+// offending token's line:column span. The parser recovers at statement and
+// loop boundaries (synchronize() skips to the next ';', 'for' or block
+// edge), and the lowerer accumulates every semantic error, so one pass over
+// a broken input reports all of its problems.
+//
 //===----------------------------------------------------------------------===//
 
 #include "parser/Parser.h"
 
 #include "parser/Lexer.h"
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
 using namespace pluto;
 
 namespace {
+
+/// Hard cap on reported errors: past this the input is garbage and more
+/// messages only bury the signal.
+constexpr unsigned MaxErrors = 20;
 
 //===----------------------------------------------------------------------===//
 // Phase 1: syntax tree
@@ -27,6 +38,7 @@ struct SynStmt {
   ExprPtr Rhs;
   std::string Text;
   unsigned Line = 0;
+  unsigned Col = 1;
 };
 
 /// Either a nested loop or a statement.
@@ -41,6 +53,7 @@ struct SynLoop {
   std::vector<ExprPtr> Ubs; ///< Iter <= each of these.
   std::vector<SynItem> Body;
   unsigned Line = 0;
+  unsigned Col = 1;
 };
 
 bool isTypeKeyword(const std::string &S) {
@@ -52,28 +65,36 @@ bool isTypeKeyword(const std::string &S) {
 
 class Parser {
 public:
-  Parser(std::vector<Token> Tokens, const std::string &Source)
-      : Tokens(std::move(Tokens)), Source(Source) {}
+  Parser(std::vector<Token> Tokens, std::vector<Diagnostic> &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
 
-  Result<std::vector<SynItem>> parseTopLevel() {
+  std::vector<SynItem> parseTopLevel() {
     std::vector<SynItem> Items;
     while (!cur().is(Token::Kind::End)) {
+      if (errorCount(Diags) >= MaxErrors) {
+        Diagnostic D;
+        D.Line = cur().Line;
+        D.Col = cur().Col;
+        D.Message = "too many errors; giving up on the rest of the input";
+        Diags.push_back(std::move(D));
+        break;
+      }
+      size_t Before = Pos;
       auto Item = parseItem();
-      if (!Item)
-        return Err(Item.error());
+      if (!Item) {
+        synchronize(Before);
+        continue;
+      }
       if (Item->Loop || Item->Stmt)
         Items.push_back(std::move(*Item));
     }
-    if (!ErrorMsg.empty())
-      return Err(ErrorMsg);
     return Items;
   }
 
 private:
   std::vector<Token> Tokens;
-  const std::string &Source;
+  std::vector<Diagnostic> &Diags;
   size_t Pos = 0;
-  std::string ErrorMsg;
 
   const Token &cur() const { return Tokens[Pos]; }
   const Token &peek(size_t Ahead = 1) const {
@@ -84,22 +105,69 @@ private:
       ++Pos;
   }
 
+  /// Records an error diagnostic spanning the current token.
   Err fail(const std::string &Msg) {
-    std::string Full =
-        "line " + std::to_string(cur().Line) + ": " + Msg +
-        (cur().Text.empty() ? "" : " (at '" + cur().Text + "')");
-    return Err(Full);
+    Diagnostic D;
+    D.Line = cur().Line;
+    D.Col = cur().Col;
+    D.Len = cur().Text.empty()
+                ? 1
+                : static_cast<unsigned>(cur().Text.size());
+    D.Message =
+        Msg + (cur().Text.empty() ? "" : " (at '" + cur().Text + "')");
+    Diags.push_back(D);
+    return Err(D.toString());
   }
 
-  bool expectPunct(const char *P, std::string *ErrOut) {
+  bool expectPunct(const char *P) {
     if (cur().isPunct(P)) {
       advance();
       return true;
     }
-    *ErrOut = "line " + std::to_string(cur().Line) + ": expected '" +
-              std::string(P) + "'" +
-              (cur().Text.empty() ? "" : " before '" + cur().Text + "'");
+    fail("expected '" + std::string(P) + "'" +
+         (cur().Text.empty() ? "" : " before"));
+    // fail() appended "(at 'tok')"; reword into the traditional "expected
+    // ';' before 'x'" by fixing up the message we just pushed.
+    Diagnostic &D = Diags.back();
+    D.Message = "expected '" + std::string(P) + "'" +
+                (cur().Text.empty() ? " before end of input"
+                                    : " before '" + cur().Text + "'");
     return false;
+  }
+
+  /// Skips to a plausible recovery point: just past the next ';' (skipping
+  /// over balanced braces entered along the way), or right before a '}',
+  /// 'for' or end-of-input at the current nesting level. Always makes
+  /// progress: a token stream position that did not move since Before (a
+  /// stray '}' at top level, say) is force-advanced by one token.
+  void synchronize(size_t Before) {
+    unsigned Depth = 0;
+    while (!cur().is(Token::Kind::End)) {
+      if (cur().isPunct("{")) {
+        advance();
+        ++Depth;
+        continue;
+      }
+      if (cur().isPunct("}")) {
+        if (Depth == 0)
+          break; // Enclosing block's closer: let the caller see it.
+        advance();
+        if (--Depth == 0)
+          break; // Skipped a whole block (a broken loop's body).
+        continue;
+      }
+      if (Depth == 0) {
+        if (cur().isPunct(";")) {
+          advance();
+          break;
+        }
+        if (cur().isIdent("for"))
+          break;
+      }
+      advance();
+    }
+    if (Pos == Before && !cur().is(Token::Kind::End))
+      advance();
   }
 
   /// Parses one item: loop, declaration (skipped, returns empty item) or
@@ -138,16 +206,16 @@ private:
   Result<std::unique_ptr<SynLoop>> parseLoop() {
     auto Loop = std::make_unique<SynLoop>();
     Loop->Line = cur().Line;
+    Loop->Col = cur().Col;
     advance(); // 'for'
-    std::string E;
-    if (!expectPunct("(", &E))
-      return Err(E);
+    if (!expectPunct("("))
+      return Err(std::string());
     if (!cur().is(Token::Kind::Ident))
       return fail("expected loop iterator name");
     Loop->Iter = cur().Text;
     advance();
-    if (!expectPunct("=", &E))
-      return Err(E);
+    if (!expectPunct("="))
+      return Err(std::string());
     auto Lb = parseExpr();
     if (!Lb)
       return Err(Lb.error());
@@ -156,8 +224,8 @@ private:
       Loop->Lbs = (*Lb)->Args;
     else
       Loop->Lbs.push_back(*Lb);
-    if (!expectPunct(";", &E))
-      return Err(E);
+    if (!expectPunct(";"))
+      return Err(std::string());
     if (!cur().is(Token::Kind::Ident) || cur().Text != Loop->Iter)
       return fail("loop condition must test the loop iterator '" +
                   Loop->Iter + "'");
@@ -180,22 +248,29 @@ private:
       Ubs.push_back(*Ub);
     for (ExprPtr &U : Ubs)
       Loop->Ubs.push_back(Strict ? Expr::binary("-", U, Expr::intLit(1)) : U);
-    if (!expectPunct(";", &E))
-      return Err(E);
+    if (!expectPunct(";"))
+      return Err(std::string());
     if (!parseIncrement(Loop->Iter))
       return fail("loop increment must be a unit step on '" + Loop->Iter +
                   "'");
-    if (!expectPunct(")", &E))
-      return Err(E);
-    // Body: block or single item.
+    if (!expectPunct(")"))
+      return Err(std::string());
+    // Body: block or single item. Broken items inside a block recover at
+    // statement boundaries, so every problem in the body is reported while
+    // the block structure (and everything after it) survives.
     if (cur().isPunct("{")) {
       advance();
       while (!cur().isPunct("}")) {
         if (cur().is(Token::Kind::End))
           return fail("unterminated loop body");
+        if (errorCount(Diags) >= MaxErrors)
+          return Err(std::string());
+        size_t Before = Pos;
         auto Item = parseItem();
-        if (!Item)
-          return Err(Item.error());
+        if (!Item) {
+          synchronize(Before);
+          continue;
+        }
         if (Item->Loop || Item->Stmt)
           Loop->Body.push_back(std::move(*Item));
       }
@@ -245,6 +320,7 @@ private:
   Result<std::unique_ptr<SynStmt>> parseStmt() {
     auto Stmt = std::make_unique<SynStmt>();
     Stmt->Line = cur().Line;
+    Stmt->Col = cur().Col;
     size_t StartTok = Pos;
     auto Lhs = parsePrimary();
     if (!Lhs)
@@ -263,9 +339,8 @@ private:
     if (!Rhs)
       return Err(Rhs.error());
     Stmt->Rhs = *Rhs;
-    std::string E;
-    if (!expectPunct(";", &E))
-      return Err(E);
+    if (!expectPunct(";"))
+      return Err(std::string());
     // Reconstruct the statement text from the token spellings.
     std::string Text;
     for (size_t T = StartTok; T + 1 < Pos; ++T) {
@@ -342,9 +417,8 @@ private:
       auto E = parseExpr();
       if (!E)
         return E;
-      std::string Msg;
-      if (!expectPunct(")", &Msg))
-        return Err(Msg);
+      if (!expectPunct(")"))
+        return Err(std::string());
       return E;
     }
     if (cur().is(Token::Kind::Ident)) {
@@ -366,9 +440,8 @@ private:
             break;
           }
         }
-        std::string Msg;
-        if (!expectPunct(")", &Msg))
-          return Err(Msg);
+        if (!expectPunct(")"))
+          return Err(std::string());
         return Expr::call(Name, std::move(Args));
       }
       if (cur().isPunct("[")) {
@@ -379,9 +452,8 @@ private:
           if (!S)
             return S;
           Subs.push_back(*S);
-          std::string Msg;
-          if (!expectPunct("]", &Msg))
-            return Err(Msg);
+          if (!expectPunct("]"))
+            return Err(std::string());
         }
         return Expr::arrayRef(Name, std::move(Subs));
       }
@@ -397,10 +469,13 @@ private:
 
 class Lowerer {
 public:
-  Result<ParsedProgram> run(const std::vector<SynItem> &Items) {
+  explicit Lowerer(std::vector<Diagnostic> &Diags) : Diags(Diags) {}
+
+  /// Lowers Items; semantic problems land in Diags (all of them, not just
+  /// the first). Returns the program only when no error was recorded.
+  std::optional<ParsedProgram> run(const std::vector<SynItem> &Items) {
+    unsigned ErrorsBefore = errorCount(Diags);
     classify(Items);
-    if (!ErrorMsg.empty())
-      return Err(ErrorMsg);
 
     Out.Prog.ParamNames = Params;
     Out.Prog.Context = ConstraintSystem(Out.Prog.numParams());
@@ -409,10 +484,10 @@ public:
     std::vector<const SynLoop *> LoopStack;
     std::vector<unsigned> PosStack;
     walk(Items, LoopStack, PosStack);
-    if (!ErrorMsg.empty())
-      return Err(ErrorMsg);
-    if (Out.Prog.Stmts.empty())
-      return Err(std::string("no statements found in region"));
+    if (Out.Prog.Stmts.empty() && errorCount(Diags) == ErrorsBefore)
+      error(1, 1, "no statements found in region");
+    if (errorCount(Diags) != ErrorsBefore)
+      return std::nullopt;
 
     for (const auto &Name : ArrayNames) {
       ArrayInfo AI;
@@ -426,7 +501,7 @@ public:
 
 private:
   ParsedProgram Out;
-  std::string ErrorMsg;
+  std::vector<Diagnostic> &Diags;
 
   std::vector<std::string> ArrayNames; ///< In first-appearance order.
   std::map<std::string, unsigned> ArrayRank;
@@ -437,12 +512,21 @@ private:
   std::set<std::string> ParamSet, SymSet;
   unsigned NextLoopId = 0;
 
-  void error(unsigned Line, const std::string &Msg) {
-    if (ErrorMsg.empty())
-      ErrorMsg = "line " + std::to_string(Line) + ": " + Msg;
+  void error(unsigned Line, unsigned Col, const std::string &Msg) {
+    // The classification passes may visit one name several times; identical
+    // re-discoveries of one problem collapse into a single diagnostic.
+    for (const Diagnostic &D : Diags)
+      if (D.Line == Line && D.Col == Col && D.Message == Msg)
+        return;
+    Diagnostic D;
+    D.Line = Line;
+    D.Col = Col;
+    D.Message = Msg;
+    Diags.push_back(std::move(D));
   }
 
-  void noteArray(const std::string &Name, unsigned Rank, unsigned Line) {
+  void noteArray(const std::string &Name, unsigned Rank, unsigned Line,
+                 unsigned Col) {
     auto It = ArrayRank.find(Name);
     if (It == ArrayRank.end()) {
       ArrayRank[Name] = Rank;
@@ -450,11 +534,11 @@ private:
       return;
     }
     if (It->second != Rank)
-      error(Line, "array '" + Name + "' used with inconsistent rank");
+      error(Line, Col, "array '" + Name + "' used with inconsistent rank");
   }
 
   /// Records names appearing in an affine position (bound or subscript).
-  void noteAffineNames(const Expr &E, unsigned Line) {
+  void noteAffineNames(const Expr &E, unsigned Line, unsigned Col) {
     switch (E.K) {
     case Expr::Kind::Var:
       if (!IterNames.count(E.Name) && !ArrayRank.count(E.Name) &&
@@ -462,21 +546,22 @@ private:
         Params.push_back(E.Name);
       return;
     case Expr::Kind::ArrayRef:
-      error(Line, "array reference inside an affine expression");
+      error(Line, Col, "array reference inside an affine expression");
       return;
     default:
       for (const ExprPtr &A : E.Args)
-        noteAffineNames(*A, Line);
+        noteAffineNames(*A, Line, Col);
       return;
     }
   }
 
   /// Records array uses / scalar reads in a body expression.
-  void noteBodyNames(const Expr &E, unsigned Line, bool IsWrite) {
+  void noteBodyNames(const Expr &E, unsigned Line, unsigned Col,
+                     bool IsWrite) {
     switch (E.K) {
     case Expr::Kind::Var:
       if (IsWrite) {
-        noteArray(E.Name, 0, Line);
+        noteArray(E.Name, 0, Line, Col);
         WrittenArrays.insert(E.Name);
       } else if (!IterNames.count(E.Name) && !ArrayRank.count(E.Name) &&
                  !ParamSet.count(E.Name) && SymSet.insert(E.Name).second) {
@@ -484,15 +569,15 @@ private:
       }
       return;
     case Expr::Kind::ArrayRef:
-      noteArray(E.Name, static_cast<unsigned>(E.Args.size()), Line);
+      noteArray(E.Name, static_cast<unsigned>(E.Args.size()), Line, Col);
       if (IsWrite)
         WrittenArrays.insert(E.Name);
       for (const ExprPtr &S : E.Args)
-        noteAffineNames(*S, Line);
+        noteAffineNames(*S, Line, Col);
       return;
     default:
       for (const ExprPtr &A : E.Args)
-        noteBodyNames(*A, Line, /*IsWrite=*/false);
+        noteBodyNames(*A, Line, Col, /*IsWrite=*/false);
       return;
     }
   }
@@ -526,45 +611,45 @@ private:
       const SynStmt &S = *It.Stmt;
       if (S.Lhs->K == Expr::Kind::ArrayRef)
         noteArray(S.Lhs->Name, static_cast<unsigned>(S.Lhs->Args.size()),
-                  S.Line);
+                  S.Line, S.Col);
       else
-        noteArray(S.Lhs->Name, 0, S.Line);
+        noteArray(S.Lhs->Name, 0, S.Line, S.Col);
       WrittenArrays.insert(S.Lhs->Name);
-      collectArrayRefs(*S.Rhs, S.Line);
+      collectArrayRefs(*S.Rhs, S.Line, S.Col);
     }
   }
 
-  void collectArrayRefs(const Expr &E, unsigned Line) {
+  void collectArrayRefs(const Expr &E, unsigned Line, unsigned Col) {
     if (E.K == Expr::Kind::ArrayRef)
-      noteArray(E.Name, static_cast<unsigned>(E.Args.size()), Line);
+      noteArray(E.Name, static_cast<unsigned>(E.Args.size()), Line, Col);
     for (const ExprPtr &A : E.Args)
-      collectArrayRefs(*A, Line);
+      collectArrayRefs(*A, Line, Col);
   }
 
   void collectAffine(const std::vector<SynItem> &Items) {
     for (const SynItem &It : Items) {
       if (It.Loop) {
         for (const ExprPtr &B : It.Loop->Lbs)
-          noteAffineNames(*B, It.Loop->Line);
+          noteAffineNames(*B, It.Loop->Line, It.Loop->Col);
         for (const ExprPtr &B : It.Loop->Ubs)
-          noteAffineNames(*B, It.Loop->Line);
+          noteAffineNames(*B, It.Loop->Line, It.Loop->Col);
         collectAffine(It.Loop->Body);
         continue;
       }
       const SynStmt &S = *It.Stmt;
-      noteSubscripts(*S.Lhs, S.Line);
-      noteSubscripts(*S.Rhs, S.Line);
+      noteSubscripts(*S.Lhs, S.Line, S.Col);
+      noteSubscripts(*S.Rhs, S.Line, S.Col);
     }
   }
 
-  void noteSubscripts(const Expr &E, unsigned Line) {
+  void noteSubscripts(const Expr &E, unsigned Line, unsigned Col) {
     if (E.K == Expr::Kind::ArrayRef) {
       for (const ExprPtr &S : E.Args)
-        noteAffineNames(*S, Line);
+        noteAffineNames(*S, Line, Col);
       return;
     }
     for (const ExprPtr &A : E.Args)
-      noteSubscripts(*A, Line);
+      noteSubscripts(*A, Line, Col);
   }
 
   void resolveSymConsts(const std::vector<SynItem> &Items) {
@@ -573,8 +658,10 @@ private:
         resolveSymConsts(It.Loop->Body);
         continue;
       }
-      noteBodyNames(*It.Stmt->Lhs, It.Stmt->Line, /*IsWrite=*/true);
-      noteBodyNames(*It.Stmt->Rhs, It.Stmt->Line, /*IsWrite=*/false);
+      noteBodyNames(*It.Stmt->Lhs, It.Stmt->Line, It.Stmt->Col,
+                    /*IsWrite=*/true);
+      noteBodyNames(*It.Stmt->Rhs, It.Stmt->Line, It.Stmt->Col,
+                    /*IsWrite=*/false);
     }
   }
 
@@ -629,8 +716,8 @@ private:
       for (const ExprPtr &B : Loop.Lbs) {
         auto Row = toAffine(*B, Dims, NVars + 1);
         if (!Row) {
-          error(Loop.Line, "non-affine lower bound for loop '" + Loop.Iter +
-                               "'");
+          error(Loop.Line, Loop.Col,
+                "non-affine lower bound for loop '" + Loop.Iter + "'");
           return;
         }
         // iter - LB >= 0.
@@ -643,8 +730,8 @@ private:
       for (const ExprPtr &B : Loop.Ubs) {
         auto Row = toAffine(*B, Dims, NVars + 1);
         if (!Row) {
-          error(Loop.Line, "non-affine upper bound for loop '" + Loop.Iter +
-                               "'");
+          error(Loop.Line, Loop.Col,
+                "non-affine upper bound for loop '" + Loop.Iter + "'");
           return;
         }
         // UB - iter >= 0.
@@ -665,10 +752,10 @@ private:
 
     // Accesses: write (and read for compound assignments) on the LHS, reads
     // in subscripts/RHS.
-    addAccess(St, *S.Lhs, Dims, NVars, /*IsWrite=*/true, S.Line);
+    addAccess(St, *S.Lhs, Dims, NVars, /*IsWrite=*/true, S.Line, S.Col);
     if (S.AsgnOp != "=")
-      addAccess(St, *S.Lhs, Dims, NVars, /*IsWrite=*/false, S.Line);
-    collectReadAccesses(St, *S.Rhs, Dims, NVars, S.Line);
+      addAccess(St, *S.Lhs, Dims, NVars, /*IsWrite=*/false, S.Line, S.Col);
+    collectReadAccesses(St, *S.Rhs, Dims, NVars, S.Line, S.Col);
     // Subscripts of the LHS may read arrays only in non-affine programs,
     // which the affine checks above already rejected.
 
@@ -676,7 +763,7 @@ private:
   }
 
   void addAccess(Statement &St, const Expr &Ref, const DimMap &Dims,
-                 unsigned NVars, bool IsWrite, unsigned Line) {
+                 unsigned NVars, bool IsWrite, unsigned Line, unsigned Col) {
     Access A;
     A.IsWrite = IsWrite;
     if (Ref.K == Expr::Kind::Var) {
@@ -693,7 +780,8 @@ private:
     for (const ExprPtr &Sub : Ref.Args) {
       auto Row = toAffine(*Sub, Dims, NVars + 1);
       if (!Row) {
-        error(Line, "non-affine subscript in access to '" + Ref.Name + "'");
+        error(Line, Col,
+              "non-affine subscript in access to '" + Ref.Name + "'");
         return;
       }
       A.Map.addRow(std::move(*Row));
@@ -702,29 +790,44 @@ private:
   }
 
   void collectReadAccesses(Statement &St, const Expr &E, const DimMap &Dims,
-                           unsigned NVars, unsigned Line) {
+                           unsigned NVars, unsigned Line, unsigned Col) {
     if (E.K == Expr::Kind::ArrayRef || E.K == Expr::Kind::Var) {
-      addAccess(St, E, Dims, NVars, /*IsWrite=*/false, Line);
-      if (E.K == Expr::Kind::ArrayRef)
-        return; // Subscripts were checked affine in addAccess.
+      addAccess(St, E, Dims, NVars, /*IsWrite=*/false, Line, Col);
       return;
     }
     for (const ExprPtr &A : E.Args)
-      collectReadAccesses(St, *A, Dims, NVars, Line);
+      collectReadAccesses(St, *A, Dims, NVars, Line, Col);
   }
 };
 
 } // namespace
 
+ParseResult pluto::parseSourceDiags(const std::string &Source) {
+  ParseResult R;
+  std::vector<Token> Tokens = tokenize(Source, R.Diags);
+  Parser P(std::move(Tokens), R.Diags);
+  std::vector<SynItem> Items = P.parseTopLevel();
+  // Lexer and parser each append in their own pass order; present the
+  // combined list in source order (stable, so ties keep discovery order).
+  std::stable_sort(R.Diags.begin(), R.Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     return A.Line != B.Line ? A.Line < B.Line
+                                             : A.Col < B.Col;
+                   });
+  // Lowering semantic checks assume a syntactically clean tree; with syntax
+  // (or lexical) errors already reported, stop here rather than pile
+  // follow-on noise onto an incomplete tree.
+  if (hasErrors(R.Diags))
+    return R;
+  Lowerer L(R.Diags);
+  if (auto Prog = L.run(Items); Prog && !hasErrors(R.Diags))
+    R.Program = std::move(*Prog);
+  return R;
+}
+
 Result<ParsedProgram> pluto::parseSource(const std::string &Source) {
-  std::string LexError;
-  std::vector<Token> Tokens = tokenize(Source, LexError);
-  if (!LexError.empty())
-    return Err(LexError);
-  Parser P(std::move(Tokens), Source);
-  auto Items = P.parseTopLevel();
-  if (!Items)
-    return Err(Items.error());
-  Lowerer L;
-  return L.run(*Items);
+  ParseResult R = parseSourceDiags(Source);
+  if (R.Program)
+    return std::move(*R.Program);
+  return Err(joinDiagnostics(R.Diags));
 }

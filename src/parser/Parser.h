@@ -27,8 +27,10 @@
 #define PLUTOPP_PARSER_PARSER_H
 
 #include "ir/Program.h"
+#include "parser/Diagnostics.h"
 #include "support/Result.h"
 
+#include <optional>
 #include <string>
 
 namespace pluto {
@@ -40,8 +42,22 @@ struct ParsedProgram {
   std::vector<std::string> SymConsts;
 };
 
-/// Parses Source into the polyhedral IR. Returns an error message naming the
-/// offending line for inputs outside the accepted subset.
+/// Outcome of one frontend pass: the program when the input was clean, and
+/// every diagnostic either way. The frontend recovers at statement/loop
+/// boundaries, so Diags lists all problems of the input, each with a
+/// 1-based line:column span, not just the first.
+struct ParseResult {
+  std::optional<ParsedProgram> Program;
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return Program.has_value(); }
+};
+
+/// Parses Source into the polyhedral IR with full error recovery.
+ParseResult parseSourceDiags(const std::string &Source);
+
+/// Single-string compatibility shim over parseSourceDiags(): on failure the
+/// error message is every diagnostic joined with newlines.
 Result<ParsedProgram> parseSource(const std::string &Source);
 
 } // namespace pluto

@@ -94,11 +94,20 @@ Result<CompiledKernel> CompiledKernel::compile(
   for (const std::string &F : ExtraFlags)
     Cmd += " " + F;
   Cmd += " > '" + LogPath + "' 2>&1";
-  if (system(Cmd.c_str()) != 0) {
+  int RC = system(Cmd.c_str());
+  if (RC != 0) {
+    // Surface everything needed to debug the failure without rerunning by
+    // hand: the compiler's captured stderr/stdout, the exit status and the
+    // exact command line.
     std::ifstream Log(LogPath);
     std::string Msg((std::istreambuf_iterator<char>(Log)),
                     std::istreambuf_iterator<char>());
-    return Err("compilation of generated code failed:\n" + Msg);
+    while (!Msg.empty() && (Msg.back() == '\n' || Msg.back() == '\r'))
+      Msg.pop_back();
+    if (Msg.empty())
+      Msg = "(no compiler output captured)";
+    return Err("compilation of generated code failed (exit status " +
+               std::to_string(RC) + "):\n" + Msg + "\ncommand: " + Cmd);
   }
   K.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!K.Handle) {

@@ -89,7 +89,12 @@ static void classifyLoops(const Scop &Sc) {
     const char *Class;
     if (Sc.Rows[Row].IsParallel) {
       count(Counter::LoopsParallel);
-      Class = "parallel";
+      if (!Sc.Rows[Row].Reductions.empty()) {
+        count(Counter::ReductionParallelLoops);
+        Class = "parallel (reduction)";
+      } else {
+        Class = "parallel";
+      }
     } else if (InParallelBand[Row]) {
       count(Counter::LoopsPipeline);
       Class = "pipeline";
@@ -118,6 +123,7 @@ Result<Pipeline> Pipeline::create(PlutoOptions Opts) {
 
 void Pipeline::setSource(std::string Source) {
   Src = std::move(Source);
+  SrcDiags.clear();
   ParsedArt.reset();
   DepsArt.reset();
   SchedArt.reset();
@@ -131,12 +137,14 @@ Result<const ParsedProgram *> Pipeline::parsed() {
     return static_cast<const ParsedProgram *>(&*ParsedArt);
   }
   ScopedPassTimer Timer(Pass::Parse);
-  auto P = parseSource(Src);
-  if (!P)
-    return Err(P.error());
-  for (const std::string &Pm : P->Prog.ParamNames)
-    P->Prog.addContextBound(Pm, Opts.ParamMin);
-  ParsedArt = std::move(*P);
+  ParseResult P = parseSourceDiags(Src);
+  SrcDiags = P.Diags;
+  count(Counter::ParserErrors, errorCount(SrcDiags));
+  if (!P.Program)
+    return Err(joinDiagnostics(SrcDiags));
+  for (const std::string &Pm : P.Program->Prog.ParamNames)
+    P.Program->Prog.addContextBound(Pm, Opts.ParamMin);
+  ParsedArt = std::move(*P.Program);
   return static_cast<const ParsedProgram *>(&*ParsedArt);
 }
 

@@ -77,6 +77,13 @@ public:
   void setSource(std::string Source);
   const std::string &source() const { return Src; }
 
+  /// Frontend diagnostics of the current session's source, populated by the
+  /// parse stage (empty before parsed() runs, or when the input is clean).
+  /// When parsing fails the parse-stage error string is these joined with
+  /// newlines; this accessor exposes the structured form (line:col spans)
+  /// for rendering and machine reports.
+  const std::vector<Diagnostic> &diagnostics() const { return SrcDiags; }
+
   /// Stage accessors: each computes missing predecessors on demand and
   /// memoizes its artifact for the lifetime of the session. The returned
   /// pointers stay valid until the next setSource().
@@ -126,6 +133,7 @@ private:
   std::shared_ptr<ResultCache> Cache;
 
   std::string Src;
+  std::vector<Diagnostic> SrcDiags;
   std::optional<ParsedProgram> ParsedArt;
   std::optional<DependenceGraph> DepsArt;
   std::optional<Schedule> SchedArt;

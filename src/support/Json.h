@@ -1,0 +1,68 @@
+//===- support/Json.h - Minimal JSON string escaping ------------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON primitive every report producer needs: correct string
+/// escaping. Shared by the observe trace serializer, the PassStats report
+/// and the plutopp CLI so kernel names, diagnostic messages and trace
+/// events with quotes, backslashes, newlines or control characters always
+/// yield a valid document.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SUPPORT_JSON_H
+#define PLUTOPP_SUPPORT_JSON_H
+
+#include <cstdio>
+#include <string>
+
+namespace pluto {
+
+/// Appends the JSON escape of S (no surrounding quotes) to Out.
+inline void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// S as a quoted JSON string literal.
+inline std::string jsonQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  appendJsonEscaped(Out, S);
+  Out += '"';
+  return Out;
+}
+
+} // namespace pluto
+
+#endif // PLUTOPP_SUPPORT_JSON_H

@@ -83,6 +83,9 @@ Schedule::Band pluto::tileBand(Scop &S, const Schedule::Band &Band,
     RowInfo Info;
     Info.IsScalar = false;
     Info.IsParallel = S.Rows[Start + J].IsParallel;
+    // Reduction-carried parallelism propagates too: the tile loop runs
+    // parallel only under the same reduction clauses as the point loop.
+    Info.Reductions = S.Rows[Start + J].Reductions;
     Info.BandId = NewBandId;
     Infos.push_back(Info);
   }
@@ -160,10 +163,12 @@ bool pluto::reorderForVectorization(Scop &S) {
     return false;
   unsigned Begin = Bands.back().Start;
   unsigned End = Begin + Bands.back().Width;
-  // Innermost parallel row in the run.
+  // Innermost parallel row in the run. Reduction-parallel rows are not
+  // vectorization candidates: `omp simd reduction` support is uneven and
+  // the serial inner accumulation usually vectorizes anyway.
   int Par = -1;
   for (unsigned R = Begin; R < End; ++R)
-    if (S.Rows[R].IsParallel)
+    if (S.Rows[R].IsParallel && S.Rows[R].Reductions.empty())
       Par = static_cast<int>(R);
   if (Par < 0)
     return false;

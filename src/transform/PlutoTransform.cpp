@@ -98,23 +98,40 @@ bool pluto::zeroAt(const Dependence &D, const Schedule &Sched, unsigned R) {
   return emptyWith(D, std::move(Neg));
 }
 
-void pluto::detectParallelism(const DependenceGraph &DG, Schedule &Sched) {
+void pluto::detectParallelism(const Program &Prog, const DependenceGraph &DG,
+                              Schedule &Sched) {
   for (unsigned R = 0; R < Sched.numRows(); ++R) {
+    Sched.Rows[R].Reductions.clear();
     if (Sched.Rows[R].IsScalar)
       continue;
     bool Parallel = true;
+    std::vector<ReductionClause> Clauses;
     for (const Dependence &D : DG.Deps) {
       if (!D.isLegalityDep())
         continue;
       // Dependences handled by outer rows do not constrain this level.
       if (D.SatisfiedAtRow >= 0 && D.SatisfiedAtRow < static_cast<int>(R))
         continue;
-      if (!zeroAt(D, Sched, R)) {
-        Parallel = false;
-        break;
+      if (zeroAt(D, Sched, R))
+        continue;
+      if (D.IsReduction) {
+        // A reduction cycle does not serialize the loop: the emitted
+        // pragma runs it parallel under a reduction clause on the target
+        // (accesses 0/1 of a reduction statement are its write/read of the
+        // target, so access 0 names the reduced array).
+        Clauses.push_back({D.RedOp, Prog.Stmts[D.SrcStmt].Accesses[0].Array});
+        continue;
       }
+      Parallel = false;
+      break;
     }
     Sched.Rows[R].IsParallel = Parallel;
+    if (Parallel && !Clauses.empty()) {
+      std::sort(Clauses.begin(), Clauses.end());
+      Clauses.erase(std::unique(Clauses.begin(), Clauses.end()),
+                    Clauses.end());
+      Sched.Rows[R].Reductions = std::move(Clauses);
+    }
   }
 }
 
@@ -886,7 +903,7 @@ Result<Schedule> pluto::computeSchedule(const Program &Prog,
                       (Aligned ? "aligned-interleave" : "concat") +
                       " stitch produced " +
                       std::to_string(Global.numRows()) + " rows");
-      detectParallelism(DG, Global);
+      detectParallelism(Prog, DG, Global);
       return Global;
     }
     for (Dependence &D : DG.Deps)
@@ -895,13 +912,12 @@ Result<Schedule> pluto::computeSchedule(const Program &Prog,
   PlutoSearch Search(Prog, DG, Opts);
   Result<Schedule> R = Search.run();
   if (R)
-    detectParallelism(DG, *R);
+    detectParallelism(Prog, DG, *R);
   return R;
 }
 
 bool pluto::analyzeSchedule(const Program &Prog, DependenceGraph &DG,
                             Schedule &Sched) {
-  (void)Prog;
   for (Dependence &D : DG.Deps)
     D.SatisfiedAtRow = -1;
   for (unsigned R = 0; R < Sched.numRows(); ++R) {
@@ -917,6 +933,6 @@ bool pluto::analyzeSchedule(const Program &Prog, DependenceGraph &DG,
   for (const Dependence &D : DG.Deps)
     if (D.isLegalityDep() && !D.satisfied())
       return false;
-  detectParallelism(DG, Sched);
+  detectParallelism(Prog, DG, Sched);
   return true;
 }

@@ -85,8 +85,13 @@ void appendTextualOrderRow(const Program &Prog, Schedule &Sched);
 
 /// Fills Sched.Rows[*].IsParallel from the satisfaction bookkeeping in DG:
 /// a loop row R is parallel iff no legality dependence satisfied at or after
-/// R has a positive component along R.
-void detectParallelism(const DependenceGraph &DG, Schedule &Sched);
+/// R has a positive component along R. Reduction-tagged self dependences
+/// (Dependence::IsReduction) are exempt: a row whose only positive deltas
+/// come from reduction cycles is still marked parallel, with the needed
+/// `reduction(Op:Array)` clauses recorded in Rows[R].Reductions for the
+/// code emitter. They still constrain every other use (legality, tiling).
+void detectParallelism(const Program &Prog, const DependenceGraph &DG,
+                       Schedule &Sched);
 
 } // namespace pluto
 

@@ -39,6 +39,11 @@ struct RowInfo {
   /// loop is parallel, innermost, and should be emitted with a
   /// force-vectorization pragma.
   bool IsVector = false;
+  /// Non-empty when IsParallel holds only under OpenMP reduction clauses:
+  /// the loop carries reduction self-dependences (and nothing else), so the
+  /// emitted pragma must list these `reduction(Op:Array)` entries. Sorted
+  /// and deduplicated.
+  std::vector<ReductionClause> Reductions;
 };
 
 /// Statement-wise multi-dimensional affine transformation.

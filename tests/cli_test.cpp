@@ -230,15 +230,57 @@ TEST(CliTest, NoParallelSuppressesPragmas) {
 TEST(CliTest, ErrorExitCodes) {
   EXPECT_EQ(runCli("/nonexistent/input.c").ExitCode, 1);
   EXPECT_EQ(runCli("--frobnicate " + examplePath("matmul.c")).ExitCode, 1);
-  // Invalid restricted-C input is a diagnostic + exit 1.
+  // Invalid restricted-C input is the "bad input" class of error: exit 2,
+  // with a source-located diagnostic on stderr.
   std::string Bad = tempPath("_bad.c");
   {
     std::ofstream Out(Bad);
     Out << "while (1) { a[i] = 0.0; }\n";
   }
-  EXPECT_EQ(runCli(Bad).ExitCode, 1);
+  EXPECT_EQ(runCli(Bad).ExitCode, 2);
   std::remove(Bad.c_str());
   EXPECT_EQ(runCli("--help").ExitCode, 0);
+}
+
+// One compile of a file with three distinct problems must surface all
+// three (error recovery), each with its line:col span, both as stderr
+// text with caret snippets and as structured entries in the JSON
+// report's "diagnostics" array - and exit 2.
+TEST(CliTest, MultiErrorSourceReportsEveryDiagnostic) {
+  std::string Bad = tempPath("_bad3.c");
+  {
+    std::ofstream Out(Bad);
+    Out << "for (i = 0; i < N; i++) {\n"
+           "  a[i] = ;\n"
+           "  b[i] @ 1.0;\n"
+           "  c[i] = a[i] +;\n"
+           "}\n";
+  }
+  RunResult R = runCli("--report=json " + Bad + " 2>&1");
+  EXPECT_EQ(R.ExitCode, 2);
+  // Every line's problem is reported with its span (recovery kept going).
+  EXPECT_NE(R.Stdout.find("line 2, col"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("line 3, col"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("line 4, col"), std::string::npos) << R.Stdout;
+  // Caret snippets point into the offending source line.
+  EXPECT_NE(R.Stdout.find("^"), std::string::npos);
+  // The JSON report carries structured entries.
+  EXPECT_NE(R.Stdout.find("\"diagnostics\": ["), std::string::npos);
+  EXPECT_NE(R.Stdout.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("\"severity\": \"error\""), std::string::npos);
+  std::remove(Bad.c_str());
+}
+
+// A clean compile's JSON report still has the (empty) diagnostics array,
+// so consumers can key on it unconditionally.
+TEST(CliTest, CleanReportHasEmptyDiagnosticsArray) {
+  std::string Out = tempPath("_clean.c");
+  RunResult R =
+      runCli("--out=" + Out + " --report=json " + examplePath("matmul.c"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("\"diagnostics\": []"), std::string::npos)
+      << R.Stdout;
+  std::remove(Out.c_str());
 }
 
 // Regression for the unvalidated-zero-tile-size path: option validation

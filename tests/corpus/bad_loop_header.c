@@ -1,0 +1,6 @@
+for (i = 0; i ! N; i++) {
+  a[i] = 0.0;
+}
+for (j = 0 j < N; j++) {
+  b[j] = 1.0;
+}

@@ -1,0 +1,5 @@
+for (i = 0; i < N; i++) {
+  a[i] = ;
+  b[i] @ 1.0;
+  c[i] = a[i] +;
+}

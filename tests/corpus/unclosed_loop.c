@@ -1,0 +1,2 @@
+for (i = 0; i < N; i++) {
+  a[i] = 0.0;

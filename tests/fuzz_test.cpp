@@ -201,4 +201,55 @@ INSTANTIATE_TEST_SUITE_P(Random, PipelineFuzz, ::testing::ValuesIn(seeds()),
                            return "seed" + std::to_string(I.param.Seed);
                          });
 
+// Frontend robustness: mutate valid generated programs with random
+// character edits and feed the wreckage to the recovering parser. Whatever
+// comes back, the frontend must neither crash nor hang, and every
+// diagnostic must carry a well-formed 1-based span into the mutated
+// source; a rejected parse must come with at least one error.
+TEST(ParserFuzz, MutatedSourcesNeverCrashAndAlwaysHaveSpans) {
+  std::mt19937 Rng(20260808);
+  auto pick = [&](unsigned Max) {
+    return std::uniform_int_distribution<unsigned>(0, Max)(Rng);
+  };
+  const char Garbage[] = "{}()[];=+-*<>@$!\t\r\n aiN0123";
+  for (unsigned Case = 0; Case < 200; ++Case) {
+    ProgramGen Gen(Case + 1);
+    std::string Src = Gen.generate();
+    unsigned Edits = 1 + pick(7);
+    for (unsigned E = 0; E < Edits && !Src.empty(); ++E) {
+      unsigned At = pick(static_cast<unsigned>(Src.size()) - 1);
+      switch (pick(2)) {
+      case 0: // Delete a character.
+        Src.erase(At, 1);
+        break;
+      case 1: // Overwrite with garbage.
+        Src[At] = Garbage[pick(sizeof(Garbage) - 2)];
+        break;
+      default: // Insert garbage.
+        Src.insert(Src.begin() + At, Garbage[pick(sizeof(Garbage) - 2)]);
+        break;
+      }
+    }
+    // Count lines the way the lexer does: LF, CRLF and lone CR all
+    // terminate a line.
+    unsigned Lines = 1;
+    for (size_t I = 0; I < Src.size(); ++I) {
+      if (Src[I] == '\n')
+        ++Lines;
+      else if (Src[I] == '\r' && (I + 1 >= Src.size() || Src[I + 1] != '\n'))
+        ++Lines;
+    }
+    ParseResult R = parseSourceDiags(Src);
+    if (!R.ok())
+      EXPECT_TRUE(hasErrors(R.Diags)) << "seed " << Case << ":\n" << Src;
+    for (const Diagnostic &D : R.Diags) {
+      EXPECT_GE(D.Line, 1u) << "seed " << Case;
+      EXPECT_LE(D.Line, Lines + 1) << "seed " << Case << ":\n" << Src;
+      EXPECT_GE(D.Col, 1u) << "seed " << Case;
+      EXPECT_GE(D.Len, 1u) << "seed " << Case;
+      EXPECT_FALSE(D.Message.empty()) << "seed " << Case;
+    }
+  }
+}
+
 } // namespace

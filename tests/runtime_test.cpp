@@ -172,6 +172,11 @@ TEST(JitTest, CompileErrorIsReported) {
   ASSERT_FALSE(K);
   EXPECT_NE(K.error().find("compilation of generated code failed"),
             std::string::npos);
+  // The captured compiler output, exit status and command line all ride
+  // along so a failure is debuggable from the message alone.
+  EXPECT_NE(K.error().find("exit status"), std::string::npos) << K.error();
+  EXPECT_NE(K.error().find("error"), std::string::npos) << K.error();
+  EXPECT_NE(K.error().find("command: "), std::string::npos) << K.error();
 }
 
 TEST(JitTest, JitMatchesInterpreterOnJacobi) {

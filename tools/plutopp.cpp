@@ -10,15 +10,18 @@
 // (--x / --no-x), and --report dumps the toolchain-wide diagnostics from
 // src/observe including the cache hit/miss/eviction counters.
 //
-// Exit codes: 0 success, 1 I/O or compilation failure, 2 invalid options
-// (PlutoOptions::validate()).
+// Exit codes: 0 success, 1 I/O or internal compilation failure, 2 invalid
+// options (PlutoOptions::validate()) or source errors (frontend
+// diagnostics).
 //
 //===----------------------------------------------------------------------===//
 
 #include "observe/PassStats.h"
 #include "observe/Trace.h"
+#include "parser/Parser.h"
 #include "service/Batch.h"
 #include "service/Pipeline.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -76,10 +79,13 @@ const char *UsageText =
     "                                  report timers/counters, including\n"
     "                                  cache hits/misses/evictions\n"
     "  --report=json                   the same as one JSON document\n"
-    "                                  (schema: DESIGN.md sections 8-9)\n"
+    "                                  (schema: DESIGN.md sections 8-9;\n"
+    "                                  includes a \"diagnostics\" array of\n"
+    "                                  frontend errors with line:col spans)\n"
     "  -h, --help                      this text\n"
     "\n"
-    "exit codes: 0 ok, 1 I/O or compile error, 2 invalid options\n";
+    "exit codes: 0 ok, 1 I/O or internal compile error, 2 invalid options\n"
+    "or source errors (every problem is reported with its line:col span)\n";
 
 /// Parses the =N suffix of A (after the Len-byte prefix); exits on garbage.
 long long numArg(const std::string &A, size_t Len) {
@@ -264,16 +270,39 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  // Report every failed unit (exit 1 at the end), write the successful
-  // ones: to --out/--out-dir files, or concatenated on stdout in input
-  // order (banner-separated when there are several).
-  bool AnyFailed = false, WroteStdout = false;
+  // Report every failed unit, write the successful ones: to
+  // --out/--out-dir files, or concatenated on stdout in input order
+  // (banner-separated when there are several). Units that failed in the
+  // frontend are re-parsed with full recovery so every problem is shown
+  // with its line:col span and a caret snippet (and drives exit code 2);
+  // failures past the frontend keep the single-message form (exit code 1).
+  bool AnyFailed = false, SourceErrors = false, WroteStdout = false;
+  std::string DiagsJson; // Rendered entries of the JSON "diagnostics" array.
   for (size_t I = 0; I < Batch.size(); ++I) {
     const Result<CompileOutput> &R = (*BatchRes)[I];
     if (!R) {
-      std::fprintf(stderr, "plutopp: %s: %s\n", Batch[I].Name.c_str(),
-                   R.error().c_str());
       AnyFailed = true;
+      ParseResult PR = parseSourceDiags(Batch[I].Source);
+      if (!PR.Diags.empty()) {
+        for (const Diagnostic &D : PR.Diags) {
+          std::fprintf(stderr, "plutopp: %s: %s\n", Batch[I].Name.c_str(),
+                       D.toString().c_str());
+          std::fputs(renderSnippet(Batch[I].Source, D).c_str(), stderr);
+          if (Report == ReportMode::Json) {
+            DiagsJson += DiagsJson.empty() ? "\n    {" : ",\n    {";
+            DiagsJson += "\"unit\": " + jsonQuote(Batch[I].Name) +
+                         ", \"line\": " + std::to_string(D.Line) +
+                         ", \"col\": " + std::to_string(D.Col) +
+                         ", \"severity\": \"" +
+                         (D.Sev == Severity::Error ? "error" : "warning") +
+                         "\", \"message\": " + jsonQuote(D.Message) + "}";
+          }
+        }
+        SourceErrors |= hasErrors(PR.Diags);
+      } else {
+        std::fprintf(stderr, "plutopp: %s: %s\n", Batch[I].Name.c_str(),
+                     R.error().c_str());
+      }
       continue;
     }
     if (!OutDir.empty()) {
@@ -309,7 +338,10 @@ int main(int argc, char **argv) {
   if (Report != ReportMode::None) {
     FILE *Dst = WroteStdout ? stderr : stdout;
     if (Report == ReportMode::Json) {
-      std::fputs(Stats.toJson(WantTrace ? &Tr : nullptr).c_str(), Dst);
+      std::string Extra =
+          "\"diagnostics\": [" + DiagsJson + (DiagsJson.empty() ? "]" : "\n  ]");
+      std::fputs(Stats.toJson(WantTrace ? &Tr : nullptr, &Extra).c_str(),
+                 Dst);
       std::fputs("\n", Dst);
     } else {
       std::fputs(Stats.toText().c_str(), Dst);
@@ -319,5 +351,7 @@ int main(int argc, char **argv) {
       }
     }
   }
+  if (SourceErrors)
+    return 2;
   return AnyFailed ? 1 : 0;
 }
