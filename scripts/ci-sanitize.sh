@@ -123,3 +123,107 @@ if ! grep -q 'pragma omp parallel for' "$RED_OUT" ||
 fi
 rm -f "$RED_OUT"
 echo "ci-sanitize: reduction parallelization OK"
+
+# Serving-layer soak: plutod under the sanitizers, ~55 mixed requests from
+# plutoctl (good kernels - twice, so the second pass is all cache hits -
+# plus the whole malformed corpus and ping/metrics probes), then a metrics
+# scrape and a SIGTERM drain. Fails on any sanitizer report, a dropped
+# request (daemon exits non-zero when accepted != completed), or a metrics
+# document that disagrees with the traffic.
+PLUTOD="$BUILD_DIR/tools/plutod"
+PLUTOCTL="$BUILD_DIR/tools/plutoctl"
+SOCK="$BUILD_DIR/ci-plutod.sock"
+DLOG="$BUILD_DIR/ci-plutod.log"
+rm -f "$SOCK" "$DLOG"
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  "$PLUTOD" --socket="$SOCK" --workers=4 --shards=8 --quiet \
+    2> "$DLOG" &
+DAEMON_PID=$!
+# Wait for the socket to answer a ping.
+TRIES=0
+until "$PLUTOCTL" --socket="$SOCK" --ping > /dev/null 2>&1; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -ge 50 ]; then
+    echo "ci-sanitize: plutod never answered a ping" >&2
+    cat "$DLOG" >&2
+    kill "$DAEMON_PID" 2> /dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Good traffic, 6 passes over examples/ (36 compile requests): the first
+# pass is cold, the rest pure cache hits, and from pass 3 on the passes
+# run concurrently to exercise the worker pool + sharded cache under
+# racing clients. plutoctl output must match plutopp's byte for byte.
+SERVED="$BUILD_DIR/ci-plutod-served.c"
+LOCAL="$BUILD_DIR/ci-plutod-local.c"
+"$CLI" "$SRC_DIR"/examples/*.c > "$LOCAL" 2> /dev/null
+for PASS in cold warm; do
+  "$PLUTOCTL" --socket="$SOCK" "$SRC_DIR"/examples/*.c > "$SERVED"
+  if ! diff "$SERVED" "$LOCAL" > /dev/null; then
+    echo "ci-sanitize: plutoctl ($PASS) output differs from plutopp" >&2
+    kill "$DAEMON_PID" 2> /dev/null || true
+    exit 1
+  fi
+done
+CTL_PIDS=""
+for I in 1 2 3 4; do
+  "$PLUTOCTL" --socket="$SOCK" "$SRC_DIR"/examples/*.c \
+    > "$SERVED.$I" &
+  CTL_PIDS="$CTL_PIDS $!"
+done
+for PID in $CTL_PIDS; do
+  # The daemon stays up as its own background job; wait only for clients.
+  wait "$PID"
+done
+for I in 1 2 3 4; do
+  if ! diff "$SERVED.$I" "$LOCAL" > /dev/null; then
+    echo "ci-sanitize: concurrent plutoctl pass $I differs from plutopp" >&2
+    kill "$DAEMON_PID" 2> /dev/null || true
+    exit 1
+  fi
+  rm -f "$SERVED.$I"
+done
+# Bad traffic (twice - the failure path must not poison the cache): every
+# malformed-corpus file must come back source-error (client exit 2)
+# without hurting the daemon.
+for BAD in "$SRC_DIR"/tests/corpus/*.c "$SRC_DIR"/tests/corpus/*.c; do
+  STATUS=0
+  "$PLUTOCTL" --socket="$SOCK" "$BAD" > /dev/null 2>&1 || STATUS=$?
+  if [ "$STATUS" -ne 2 ]; then
+    echo "ci-sanitize: plutod gave exit $STATUS for malformed $BAD" >&2
+    kill "$DAEMON_PID" 2> /dev/null || true
+    exit 1
+  fi
+done
+# Metrics must balance: accepted == completed, and the document is the
+# versioned report schema.
+METRICS="$BUILD_DIR/ci-plutod-metrics.json"
+"$PLUTOCTL" --socket="$SOCK" --metrics > "$METRICS"
+for NEEDLE in '"schema":2' '"server"' '"cache"' '"latency_ms"'; do
+  if ! grep -q "$NEEDLE" "$METRICS"; then
+    echo "ci-sanitize: plutod metrics missing $NEEDLE" >&2
+    kill "$DAEMON_PID" 2> /dev/null || true
+    exit 1
+  fi
+done
+ACCEPTED=$(sed -n 's/.*"requests_accepted":\([0-9]*\).*/\1/p' "$METRICS")
+COMPLETED=$(sed -n 's/.*"requests_completed":\([0-9]*\).*/\1/p' "$METRICS")
+if [ -z "$ACCEPTED" ] || [ "$ACCEPTED" != "$COMPLETED" ]; then
+  echo "ci-sanitize: plutod dropped requests ($ACCEPTED accepted," \
+       "$COMPLETED completed)" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+# Graceful drain: SIGTERM; the daemon exits 0 only when every accepted
+# request was answered (and a sanitizer report would have aborted it).
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  echo "ci-sanitize: plutod drain failed" >&2
+  cat "$DLOG" >&2
+  exit 1
+fi
+rm -f "$SOCK" "$DLOG" "$SERVED" "$LOCAL" "$METRICS"
+echo "ci-sanitize: plutod sanitizer soak OK"

@@ -13,9 +13,13 @@
 /// (service/Pipeline.h): a session object that validates and fingerprints
 /// its PlutoOptions once, exposes every stage with memoized intermediate
 /// artifacts, and plugs into the content-addressed result cache and the
-/// concurrent batch driver (service/Batch.h). The three free functions
-/// below predate the service layer and are kept as thin compatibility
-/// shims over Pipeline; new code should construct a Pipeline directly.
+/// concurrent batch driver (service/Batch.h). One-shot traffic should use
+/// the CompileRequest/CompileResponse API (service/CompileService.h),
+/// whose StatusCode taxonomy is shared by the CLI exit codes and the
+/// plutod wire protocol. The three free functions below predate the
+/// service layer and are [[deprecated]] compatibility shims over
+/// Pipeline; they will not grow new features and new code must not call
+/// them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -88,21 +92,22 @@ struct PlutoResult {
   const Program &program() const { return Parsed.Prog; }
 };
 
-/// Compatibility shim over Pipeline: runs the full pipeline on restricted-C
-/// source. Equivalent to Pipeline::create(Opts) + setSource() +
-/// takeLowered(); prefer Pipeline, which can also reuse artifacts and hit
-/// the result cache.
+/// \deprecated Compatibility shim over Pipeline: runs the full pipeline on
+/// restricted-C source. Equivalent to Pipeline::create(Opts) + setSource()
+/// + takeLowered(); prefer Pipeline, which can also reuse artifacts and
+/// hit the result cache, or Pipeline::compileRequest() for the structured
+/// StatusCode result shape.
 Result<PlutoResult> optimizeSource(const std::string &Source,
                                    const PlutoOptions &Opts = PlutoOptions());
 
-/// Compatibility shim over Pipeline::lowerSchedule(): applies the
+/// \deprecated Compatibility shim over Pipeline::lowerSchedule(): applies the
 /// post-schedule stages (scop building, tiling, wavefront, vectorization,
 /// codegen) to an existing schedule - the hook used to evaluate forced
 /// comparison transformations (Section 7's baselines).
 Result<PlutoResult> lowerSchedule(ParsedProgram Parsed, DependenceGraph DG,
                                   Schedule Sched, const PlutoOptions &Opts);
 
-/// Compatibility shim over Pipeline::originalAst(): builds the
+/// \deprecated Compatibility shim over Pipeline::originalAst(): builds the
 /// untransformed-program AST (identity 2d+1 schedule) for baseline
 /// execution through the same code generator. The same `Opts.ParamMin`
 /// context assumption the optimizing path applies is added here too, so

@@ -134,7 +134,12 @@ void PassStats::clear() {
 
 std::string PassStats::toJson(const Trace *T, const std::string *Extra) const {
   std::ostringstream OS;
-  OS << "{\n  \"passes\": {";
+  // Schema version of this document (DESIGN.md section 8). Bumped to 2
+  // when the version member itself plus the serve-layer extras ("server",
+  // "cache", "latency_ms" in plutod metrics; shared "diagnostics"
+  // serializer in reports) were introduced; consumers should reject
+  // documents with a larger major version than they know.
+  OS << "{\n  \"schema\": 2,\n  \"passes\": {";
   for (unsigned P = 0; P < static_cast<unsigned>(Pass::NumPasses); ++P) {
     char Buf[64];
     std::snprintf(Buf, sizeof(Buf), "%.6f", seconds(static_cast<Pass>(P)));

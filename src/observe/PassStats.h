@@ -151,8 +151,10 @@ struct PassStats {
   }
 
   /// Serializes this run to the JSON document described in DESIGN.md
-  /// section 8 ({"passes": {...}, "counters": {...}, "deps_by_level": [...],
-  /// "trace": [...]}); the "trace" member is present iff T is non-null.
+  /// section 8 ({"schema": 2, "passes": {...}, "counters": {...},
+  /// "deps_by_level": [...], "trace": [...]}); the "trace" member is
+  /// present iff T is non-null. "schema" versions the document shape for
+  /// every consumer (plutopp --report=json, the plutod metrics endpoint).
   /// Extra, when non-null, is spliced verbatim as additional top-level
   /// members (callers pass pre-rendered JSON like
   /// `"diagnostics": [...]`).

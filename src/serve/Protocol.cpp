@@ -1,0 +1,320 @@
+//===- serve/Protocol.cpp - plutod NDJSON wire protocol -------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace pluto;
+using namespace pluto::serve;
+
+namespace {
+
+void appendKey(std::string &Out, const char *Key) {
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+}
+
+void appendBool(std::string &Out, const char *Key, bool V) {
+  appendKey(Out, Key);
+  Out += V ? "true" : "false";
+}
+
+void appendInt(std::string &Out, const char *Key, long long V) {
+  appendKey(Out, Key);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", V);
+  Out += Buf;
+}
+
+void appendStr(std::string &Out, const char *Key, const std::string &V) {
+  appendKey(Out, Key);
+  Out += jsonQuote(V);
+}
+
+/// `{"plutod":1,"id":<Id>` - the shared response/request prefix.
+std::string head(const std::string &IdJson) {
+  std::string Out = "{\"plutod\":";
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "%d", ProtocolVersion);
+  Out += Buf;
+  Out += ",\"id\":";
+  Out += IdJson.empty() ? std::string("null") : IdJson;
+  return Out;
+}
+
+/// Reads a required-if-present bool member into Field.
+Result<bool> readBool(const JsonValue &V, const char *Key, bool &Field) {
+  if (!V.isBool())
+    return Err(std::string("options.") + Key + " must be a boolean");
+  Field = V.asBool();
+  return true;
+}
+
+Result<bool> readUnsigned(const JsonValue &V, const char *Key,
+                          unsigned &Field) {
+  if (!V.isInteger() || V.asInt() < 0)
+    return Err(std::string("options.") + Key +
+               " must be a non-negative integer");
+  Field = static_cast<unsigned>(V.asInt());
+  return true;
+}
+
+} // namespace
+
+std::string pluto::serve::optionsToJson(const PlutoOptions &O) {
+  std::string Out = "{";
+  appendBool(Out, "tile", O.Tile);
+  Out += ',';
+  appendInt(Out, "tile_size", O.TileSize);
+  Out += ',';
+  appendBool(Out, "l2tile", O.SecondLevelTile);
+  Out += ',';
+  appendInt(Out, "l2tile_size", O.L2TileSize);
+  Out += ',';
+  appendBool(Out, "parallel", O.Parallelize);
+  Out += ',';
+  appendInt(Out, "wavefront_degrees", O.WavefrontDegrees);
+  Out += ',';
+  appendBool(Out, "vectorize", O.Vectorize);
+  Out += ',';
+  appendBool(Out, "include_input_deps", O.IncludeInputDeps);
+  Out += ',';
+  appendInt(Out, "param_min", O.ParamMin);
+  Out += ',';
+  appendBool(Out, "fast_schedule", O.FastSchedule);
+  Out += '}';
+  return Out;
+}
+
+Result<PlutoOptions> pluto::serve::optionsFromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return Err("\"options\" must be a JSON object");
+  PlutoOptions O;
+  for (const auto &[Key, Val] : V.members()) {
+    Result<bool> R = true;
+    if (Key == "tile")
+      R = readBool(Val, "tile", O.Tile);
+    else if (Key == "tile_size")
+      R = readUnsigned(Val, "tile_size", O.TileSize);
+    else if (Key == "l2tile")
+      R = readBool(Val, "l2tile", O.SecondLevelTile);
+    else if (Key == "l2tile_size")
+      R = readUnsigned(Val, "l2tile_size", O.L2TileSize);
+    else if (Key == "parallel")
+      R = readBool(Val, "parallel", O.Parallelize);
+    else if (Key == "wavefront_degrees")
+      R = readUnsigned(Val, "wavefront_degrees", O.WavefrontDegrees);
+    else if (Key == "vectorize")
+      R = readBool(Val, "vectorize", O.Vectorize);
+    else if (Key == "include_input_deps")
+      R = readBool(Val, "include_input_deps", O.IncludeInputDeps);
+    else if (Key == "param_min") {
+      if (!Val.isInteger())
+        return Err("options.param_min must be an integer");
+      O.ParamMin = Val.asInt();
+    } else if (Key == "fast_schedule")
+      R = readBool(Val, "fast_schedule", O.FastSchedule);
+    else
+      return Err("unknown options key \"" + Key + "\"");
+    if (!R)
+      return Err(R.error());
+  }
+  return O;
+}
+
+std::string pluto::serve::encodeRequest(const WireRequest &R) {
+  std::string Out = head(R.Id);
+  Out += ',';
+  switch (R.Operation) {
+  case Op::Ping:
+    appendStr(Out, "op", "ping");
+    break;
+  case Op::Metrics:
+    appendStr(Out, "op", "metrics");
+    break;
+  case Op::Compile:
+    appendStr(Out, "op", "compile");
+    if (!R.Req.Name.empty()) {
+      Out += ',';
+      appendStr(Out, "name", R.Req.Name);
+    }
+    Out += ',';
+    appendStr(Out, "source", R.Req.Source);
+    Out += ",\"options\":";
+    Out += optionsToJson(R.Req.Opts);
+    break;
+  }
+  Out += '}';
+  return Out;
+}
+
+Result<WireRequest> pluto::serve::decodeRequest(const std::string &Line) {
+  auto Doc = JsonValue::parse(Line);
+  if (!Doc)
+    return Err("malformed JSON: " + Doc.error());
+  if (!Doc->isObject())
+    return Err("request must be a JSON object");
+
+  const JsonValue *Ver = Doc->find("plutod");
+  if (!Ver)
+    return Err("missing \"plutod\" protocol version member");
+  if (!Ver->isInteger() || Ver->asInt() != ProtocolVersion)
+    return Err("unsupported protocol version (this server speaks "
+               "\"plutod\": 1)");
+
+  WireRequest R;
+  if (const JsonValue *Id = Doc->find("id"))
+    R.Id = Id->toJson();
+
+  const JsonValue *OpV = Doc->find("op");
+  if (!OpV || !OpV->isString())
+    return Err("missing or non-string \"op\" member");
+  const std::string &OpName = OpV->asString();
+  if (OpName == "ping")
+    R.Operation = Op::Ping;
+  else if (OpName == "metrics")
+    R.Operation = Op::Metrics;
+  else if (OpName == "compile")
+    R.Operation = Op::Compile;
+  else
+    return Err("unknown op \"" + OpName +
+               "\" (expected compile, ping or metrics)");
+
+  if (R.Operation != Op::Compile)
+    return R;
+
+  if (const JsonValue *Name = Doc->find("name")) {
+    if (!Name->isString())
+      return Err("\"name\" must be a string");
+    R.Req.Name = Name->asString();
+  }
+  const JsonValue *Src = Doc->find("source");
+  if (!Src || !Src->isString())
+    return Err("compile request needs a string \"source\" member");
+  R.Req.Source = Src->asString();
+
+  if (const JsonValue *Opts = Doc->find("options")) {
+    auto O = optionsFromJson(*Opts);
+    if (!O)
+      return Err(O.error());
+    R.Req.Opts = *O;
+  }
+  return R;
+}
+
+std::string pluto::serve::encodeResponse(const std::string &IdJson,
+                                         const CompileResponse &Resp) {
+  std::string Out = head(IdJson);
+  Out += ',';
+  appendStr(Out, "status", statusCodeName(Resp.Status));
+  if (!Resp.Name.empty()) {
+    Out += ',';
+    appendStr(Out, "name", Resp.Name);
+  }
+  if (!Resp.Key.empty()) {
+    Out += ',';
+    appendStr(Out, "key", Resp.Key);
+  }
+  if (Resp.ok()) {
+    Out += ',';
+    appendBool(Out, "cache_hit", Resp.CacheHit);
+    Out += ',';
+    appendStr(Out, "emitted_c", Resp.EmittedC);
+  } else {
+    Out += ',';
+    appendStr(Out, "error", Resp.Error);
+    if (!Resp.Diags.empty()) {
+      Out += ",\"diagnostics\":";
+      Out += diagnosticsJsonArray(Resp.Name, Resp.Diags);
+    }
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string pluto::serve::encodeSimpleResponse(const std::string &IdJson,
+                                               StatusCode S,
+                                               const std::string &Error) {
+  std::string Out = head(IdJson);
+  Out += ',';
+  appendStr(Out, "status", statusCodeName(S));
+  if (!Error.empty()) {
+    Out += ',';
+    appendStr(Out, "error", Error);
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string pluto::serve::encodeMetricsResponse(
+    const std::string &IdJson, const std::string &MetricsJson) {
+  std::string Out = head(IdJson);
+  Out += ',';
+  appendStr(Out, "status", statusCodeName(StatusCode::Ok));
+  Out += ",\"metrics\":";
+  Out += MetricsJson;
+  Out += '}';
+  return Out;
+}
+
+Result<WireResponse> pluto::serve::decodeResponse(const std::string &Line) {
+  auto Doc = JsonValue::parse(Line);
+  if (!Doc)
+    return Err("malformed JSON: " + Doc.error());
+  if (!Doc->isObject())
+    return Err("response must be a JSON object");
+
+  const JsonValue *Ver = Doc->find("plutod");
+  if (!Ver || !Ver->isInteger() || Ver->asInt() != ProtocolVersion)
+    return Err("missing or unsupported \"plutod\" protocol version");
+
+  WireResponse R;
+  if (const JsonValue *Id = Doc->find("id"))
+    R.Id = Id->toJson();
+
+  const JsonValue *St = Doc->find("status");
+  if (!St || !St->isString())
+    return Err("missing or non-string \"status\" member");
+  auto Code = statusCodeFromName(St->asString());
+  if (!Code)
+    return Err("unknown status \"" + St->asString() + "\"");
+  R.Status = *Code;
+
+  if (const JsonValue *V = Doc->find("name"); V && V->isString())
+    R.Name = V->asString();
+  if (const JsonValue *V = Doc->find("key"); V && V->isString())
+    R.Key = V->asString();
+  if (const JsonValue *V = Doc->find("emitted_c"); V && V->isString())
+    R.EmittedC = V->asString();
+  if (const JsonValue *V = Doc->find("cache_hit"); V && V->isBool())
+    R.CacheHit = V->asBool();
+  if (const JsonValue *V = Doc->find("error"); V && V->isString())
+    R.Error = V->asString();
+  if (const JsonValue *V = Doc->find("metrics"))
+    R.MetricsJson = V->toJson();
+
+  if (const JsonValue *Ds = Doc->find("diagnostics"); Ds && Ds->isArray()) {
+    for (const JsonValue &DV : Ds->array()) {
+      if (!DV.isObject())
+        continue;
+      Diagnostic D;
+      if (const JsonValue *V = DV.find("line"); V && V->isInteger())
+        D.Line = static_cast<unsigned>(V->asInt());
+      if (const JsonValue *V = DV.find("col"); V && V->isInteger())
+        D.Col = static_cast<unsigned>(V->asInt());
+      if (const JsonValue *V = DV.find("severity"); V && V->isString())
+        D.Sev = V->asString() == "warning" ? Severity::Warning
+                                           : Severity::Error;
+      if (const JsonValue *V = DV.find("message"); V && V->isString())
+        D.Message = V->asString();
+      R.Diags.push_back(std::move(D));
+    }
+  }
+  return R;
+}

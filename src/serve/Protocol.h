@@ -1,0 +1,120 @@
+//===- serve/Protocol.h - plutod NDJSON wire protocol -----------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plutod wire protocol: newline-delimited JSON over a local stream
+/// socket, one request object per line in, one response object per line
+/// out. Version 1 grammar:
+///
+///   request  := {"plutod": 1, "op": "compile" | "ping" | "metrics",
+///                "id": <any JSON value, echoed verbatim>,
+///                "name": <string, compile only, optional>,
+///                "source": <string, compile only>,
+///                "options": <object, compile only, optional>}
+///   response := {"plutod": 1, "id": <echo>, "status": <StatusCode name>,
+///                ... status-dependent payload ...}
+///
+/// Compile responses carry "key", "cache_hit" and "emitted_c" on ok;
+/// "error" plus a "diagnostics" array (the same serializer the plutopp
+/// --report=json schema uses) on source-error; "error" alone otherwise.
+/// Metrics responses carry the full stats document under "metrics".
+/// The "options" object mirrors the plutopp transformation flags in
+/// snake_case (tile, tile_size, l2tile, l2tile_size, parallel,
+/// wavefront_degrees, vectorize, include_input_deps, param_min,
+/// fast_schedule); absent keys take PlutoOptions defaults and unknown
+/// keys are a bad-request, so client typos fail loudly instead of
+/// silently compiling with defaults.
+///
+/// Encode/decode here is pure string work - no sockets - so the tests
+/// can round-trip the protocol without a daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SERVE_PROTOCOL_H
+#define PLUTOPP_SERVE_PROTOCOL_H
+
+#include "service/CompileService.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace pluto {
+namespace serve {
+
+/// Version stamped into (and required of) every wire object.
+constexpr int ProtocolVersion = 1;
+
+enum class Op {
+  Compile,
+  Ping,
+  Metrics,
+};
+
+/// One decoded request line.
+struct WireRequest {
+  Op Operation = Op::Ping;
+  /// Raw JSON text of the client's "id" member, echoed verbatim into the
+  /// response so clients can pipeline requests; "null" when absent.
+  std::string Id = "null";
+  /// Populated for Op::Compile.
+  CompileRequest Req;
+};
+
+/// One decoded response line (the client-side view).
+struct WireResponse {
+  StatusCode Status = StatusCode::Internal;
+  std::string Id = "null"; ///< raw JSON text of the echoed id
+  std::string Name;
+  std::string Key;
+  std::string EmittedC;
+  bool CacheHit = false;
+  std::vector<Diagnostic> Diags;
+  std::string Error;
+  /// Raw JSON text of the "metrics" member (metrics responses only).
+  std::string MetricsJson;
+
+  bool ok() const { return Status == StatusCode::Ok; }
+};
+
+/// PlutoOptions -> the wire "options" object (every key, snake_case).
+std::string optionsToJson(const PlutoOptions &O);
+
+/// The wire "options" object -> PlutoOptions. V must be a JSON object;
+/// absent keys keep defaults, unknown keys or wrong types are errors.
+/// Does not run PlutoOptions::validate() - admission does that so the
+/// failure is classified as bad-request with the field name.
+Result<PlutoOptions> optionsFromJson(const JsonValue &V);
+
+/// One-line request encoding (no trailing newline).
+std::string encodeRequest(const WireRequest &R);
+
+/// Parses and validates one request line. Errors are client-facing
+/// bad-request messages (unversioned object, unknown op, missing source,
+/// malformed options...).
+Result<WireRequest> decodeRequest(const std::string &Line);
+
+/// One-line encoding of a compile response under echo id IdJson.
+std::string encodeResponse(const std::string &IdJson,
+                           const CompileResponse &Resp);
+
+/// One-line non-compile response: status + optional error. Used for ping
+/// acks, admission rejections and protocol errors.
+std::string encodeSimpleResponse(const std::string &IdJson, StatusCode S,
+                                 const std::string &Error);
+
+/// One-line metrics response; MetricsJson must already be a single-line
+/// JSON value (minifyJson the stats document first).
+std::string encodeMetricsResponse(const std::string &IdJson,
+                                  const std::string &MetricsJson);
+
+/// Parses one response line into the client-side view.
+Result<WireResponse> decodeResponse(const std::string &Line);
+
+} // namespace serve
+} // namespace pluto
+
+#endif // PLUTOPP_SERVE_PROTOCOL_H

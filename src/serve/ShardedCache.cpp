@@ -1,0 +1,77 @@
+//===- serve/ShardedCache.cpp - Lock-sharded result cache -----------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ShardedCache.h"
+
+#include <functional>
+
+using namespace pluto;
+using namespace pluto::serve;
+
+ShardedResultCache::ShardedResultCache(Config C)
+    // The base-class tiers are never used (every entry point is
+    // overridden to route into a shard); give it a zero budget so it
+    // cannot hold memory.
+    : ResultCache(ResultCache::Config{0, std::string()}) {
+  unsigned N = C.Shards ? C.Shards : 1;
+  size_t PerShard = C.MaxBytes / N;
+  Shards.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Shards.push_back(std::make_unique<ResultCache>(
+        ResultCache::Config{PerShard, C.DiskDir}));
+}
+
+unsigned ShardedResultCache::shardIndex(const std::string &Key) const {
+  // Keys are sha256 hex; the leading digits are uniform, so folding the
+  // first four is enough for balance. Non-hex keys (tests, foreign
+  // callers) fall through to std::hash.
+  unsigned V = 0;
+  unsigned Digits = 0;
+  for (char C : Key) {
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = static_cast<unsigned>(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      D = static_cast<unsigned>(C - 'A') + 10;
+    else
+      break;
+    V = V * 16 + D;
+    if (++Digits == 4)
+      break;
+  }
+  if (Digits == 0)
+    V = static_cast<unsigned>(std::hash<std::string>{}(Key));
+  return V % static_cast<unsigned>(Shards.size());
+}
+
+std::optional<std::string>
+ShardedResultCache::lookup(const std::string &Key) {
+  return Shards[shardIndex(Key)]->lookup(Key);
+}
+
+void ShardedResultCache::insert(const std::string &Key,
+                                const std::string &Value) {
+  Shards[shardIndex(Key)]->insert(Key, Value);
+}
+
+Result<std::string> ShardedResultCache::getOrCompute(
+    const std::string &Key,
+    const std::function<Result<std::string>()> &Compute) {
+  return Shards[shardIndex(Key)]->getOrCompute(Key, Compute);
+}
+
+bool ShardedResultCache::diskEnabled() const {
+  return Shards.front()->diskEnabled();
+}
+
+ResultCache::Snapshot ShardedResultCache::snapshot() const {
+  Snapshot Sum;
+  for (const auto &S : Shards)
+    Sum += S->snapshot();
+  return Sum;
+}

@@ -1,0 +1,74 @@
+//===- serve/ShardedCache.h - Lock-sharded result cache ---------*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ResultCache built from N independent ResultCache shards, routed by
+/// the cache key's leading hex digits. Every operation touches exactly
+/// one shard, so the per-shard mutex - which single-flight leaders hold
+/// across stat bookkeeping and which every lookup serializes on - stops
+/// being a daemon-wide bottleneck; keys are sha256 hex, so the shards
+/// load-balance uniformly. The configured byte budget is split evenly
+/// across shards (LRU eviction is per shard) and the optional disk tier
+/// is shared: all shards persist under one directory in the same format
+/// plain ResultCache uses, so a sharded daemon cache and a single-shard
+/// plutopp --cache-dir interoperate on disk.
+///
+/// snapshot() sums the shard counters, which is the invariant
+/// serve_test pins: a sharded cache's totals equal a single-shard
+/// cache's totals for the same traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SERVE_SHARDEDCACHE_H
+#define PLUTOPP_SERVE_SHARDEDCACHE_H
+
+#include "service/ResultCache.h"
+
+#include <memory>
+#include <vector>
+
+namespace pluto {
+namespace serve {
+
+class ShardedResultCache : public ResultCache {
+public:
+  struct Config {
+    /// Number of independent shards; clamped to >= 1.
+    unsigned Shards = 8;
+    /// Total in-memory budget, split evenly across shards.
+    size_t MaxBytes = 64ull << 20;
+    /// Shared persistent tier; empty disables disk (same semantics as
+    /// ResultCache::Config::DiskDir).
+    std::string DiskDir;
+  };
+
+  explicit ShardedResultCache(Config C);
+
+  std::optional<std::string> lookup(const std::string &Key) override;
+  void insert(const std::string &Key, const std::string &Value) override;
+  Result<std::string>
+  getOrCompute(const std::string &Key,
+               const std::function<Result<std::string>()> &Compute) override;
+  bool diskEnabled() const override;
+
+  /// Sum of every shard's counters and occupancy.
+  Snapshot snapshot() const override;
+
+  unsigned shardCount() const {
+    return static_cast<unsigned>(Shards.size());
+  }
+
+  /// The shard Key routes to (exposed for tests).
+  unsigned shardIndex(const std::string &Key) const;
+
+private:
+  std::vector<std::unique_ptr<ResultCache>> Shards;
+};
+
+} // namespace serve
+} // namespace pluto
+
+#endif // PLUTOPP_SERVE_SHARDEDCACHE_H

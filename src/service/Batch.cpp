@@ -7,41 +7,52 @@
 #include "service/Batch.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
+#include <unordered_map>
 
 using namespace pluto;
 
-Result<std::vector<Result<CompileOutput>>>
-pluto::compileBatch(const std::vector<CompileJob> &Jobs,
-                    const PlutoOptions &Opts, const BatchOptions &BO) {
-  // Validate once up front; per-worker Pipeline::create below then cannot
-  // fail, and an invalid option set rejects the whole batch with one error
-  // instead of N copies of it.
-  if (auto V = Opts.validate(); !V)
-    return Err(V.error());
-
+std::vector<CompileResponse>
+pluto::compileRequests(const std::vector<CompileRequest> &Reqs,
+                       const BatchOptions &BO) {
   std::shared_ptr<ResultCache> Cache = BO.Cache;
   if (!Cache)
     Cache = std::make_shared<ResultCache>();
 
-  std::vector<Result<CompileOutput>> Results(Jobs.size(),
-                                             Err("job not executed"));
+  std::vector<CompileResponse> Results(Reqs.size());
 
   unsigned Workers = BO.Jobs ? BO.Jobs : std::thread::hardware_concurrency();
   if (Workers == 0)
     Workers = 1;
-  if (Workers > Jobs.size())
-    Workers = static_cast<unsigned>(Jobs.size());
+  if (Workers > Reqs.size())
+    Workers = static_cast<unsigned>(Reqs.size());
 
   std::atomic<size_t> Next{0};
   auto Work = [&] {
-    auto P = Pipeline::create(Opts);
-    if (!P)
-      return; // unreachable: validated above
-    P->attachCache(Cache);
+    // One session per distinct options fingerprint this worker sees;
+    // typical traffic has one or a handful, so no eviction policy.
+    std::unordered_map<std::string, std::unique_ptr<Pipeline>> Sessions;
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-         I < Jobs.size(); I = Next.fetch_add(1, std::memory_order_relaxed))
-      Results[I] = P->compile(Jobs[I].Source);
+         I < Reqs.size(); I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      const CompileRequest &Req = Reqs[I];
+      std::string Fp = Req.Opts.fingerprint();
+      auto It = Sessions.find(Fp);
+      if (It == Sessions.end()) {
+        auto P = Pipeline::create(Req.Opts);
+        if (!P) {
+          CompileResponse &Resp = Results[I];
+          Resp.Status = StatusCode::BadRequest;
+          Resp.Name = Req.Name;
+          Resp.Error = P.error();
+          continue;
+        }
+        auto Owned = std::make_unique<Pipeline>(std::move(*P));
+        Owned->attachCache(Cache);
+        It = Sessions.emplace(std::move(Fp), std::move(Owned)).first;
+      }
+      Results[I] = It->second->compileRequest(Req);
+    }
   };
 
   if (Workers <= 1) {
@@ -53,6 +64,35 @@ pluto::compileBatch(const std::vector<CompileJob> &Jobs,
       Pool.emplace_back(Work);
     for (std::thread &T : Pool)
       T.join();
+  }
+  return Results;
+}
+
+Result<std::vector<Result<CompileOutput>>>
+pluto::compileBatch(const std::vector<CompileJob> &Jobs,
+                    const PlutoOptions &Opts, const BatchOptions &BO) {
+  // Validate once up front: an invalid option set rejects the whole batch
+  // with one error instead of N copies of it (the historical contract of
+  // this shim; compileRequests() reports per-request instead).
+  if (auto V = Opts.validate(); !V)
+    return Err(V.error());
+
+  std::vector<CompileRequest> Reqs;
+  Reqs.reserve(Jobs.size());
+  for (const CompileJob &J : Jobs)
+    Reqs.push_back({J.Name, J.Source, Opts});
+
+  std::vector<CompileResponse> Resps = compileRequests(Reqs, BO);
+
+  std::vector<Result<CompileOutput>> Results(Jobs.size(),
+                                             Err("job not executed"));
+  for (size_t I = 0; I < Resps.size(); ++I) {
+    CompileResponse &R = Resps[I];
+    if (R.ok())
+      Results[I] = CompileOutput{std::move(R.Key), std::move(R.EmittedC),
+                                 R.CacheHit};
+    else
+      Results[I] = Err(R.Error);
   }
   return Results;
 }

@@ -5,21 +5,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// compileBatch(): run many compilation jobs against one option set on a
-/// pool of worker threads, each worker driving its own Pipeline session
-/// against one shared ResultCache. Guarantees:
+/// compileRequests(): run many CompileRequests - each carrying its own
+/// option set - on a pool of worker threads, each worker driving Pipeline
+/// sessions (one per distinct options fingerprint) against one shared
+/// ResultCache. Guarantees:
 ///
 ///  - deterministic result ordering: Results[i] always corresponds to
-///    Jobs[i], whatever the completion order was;
+///    Reqs[i], whatever the completion order was;
 ///  - single-flight dedup: jobs whose (canonical source, options,
 ///    toolchain version) keys collide compile once - duplicates either
 ///    block on the in-flight leader (ResultCache::getOrCompute) or hit the
 ///    cache, so a batch of N identical kernels costs one compile;
-///  - failure isolation: one job's parse/transform error fails only its
-///    own slot.
+///  - failure isolation: one job's failure is confined to its own
+///    response slot, classified by the StatusCode taxonomy (an invalid
+///    per-request option set is that request's bad-request response).
 ///
 /// When no cache is supplied, the batch still creates a private in-memory
-/// cache so intra-batch dedup holds.
+/// cache so intra-batch dedup holds. compileBatch() is the legacy shim:
+/// one option set for the whole batch, results flattened back to
+/// Result<CompileOutput> slots.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,8 +50,16 @@ struct BatchOptions {
   std::shared_ptr<ResultCache> Cache;
 };
 
-/// Compiles every job under Opts. Fails as a whole only on invalid
-/// options; per-job failures are carried in the matching result slot.
+/// Compiles every request on the worker pool; Responses[i] answers
+/// Reqs[i]. Never fails as a whole: per-request problems (including an
+/// invalid option set) come back as that request's response status.
+std::vector<CompileResponse>
+compileRequests(const std::vector<CompileRequest> &Reqs,
+                const BatchOptions &BO = BatchOptions());
+
+/// Legacy shim over compileRequests(): compiles every job under one
+/// option set. Fails as a whole only on invalid options; per-job failures
+/// are carried in the matching result slot as flattened error strings.
 Result<std::vector<Result<CompileOutput>>>
 compileBatch(const std::vector<CompileJob> &Jobs, const PlutoOptions &Opts,
              const BatchOptions &BO = BatchOptions());

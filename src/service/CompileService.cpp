@@ -1,0 +1,105 @@
+//===- service/CompileService.cpp - Request/response compile API ----------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include "support/Json.h"
+
+using namespace pluto;
+
+const char *pluto::statusCodeName(StatusCode S) {
+  switch (S) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::BadRequest:
+    return "bad-request";
+  case StatusCode::SourceError:
+    return "source-error";
+  case StatusCode::ScheduleAbort:
+    return "schedule-abort";
+  case StatusCode::Internal:
+    return "internal";
+  case StatusCode::Overloaded:
+    return "overloaded";
+  }
+  return "internal";
+}
+
+std::optional<StatusCode> pluto::statusCodeFromName(const std::string &Name) {
+  for (StatusCode S :
+       {StatusCode::Ok, StatusCode::BadRequest, StatusCode::SourceError,
+        StatusCode::ScheduleAbort, StatusCode::Internal,
+        StatusCode::Overloaded})
+    if (Name == statusCodeName(S))
+      return S;
+  return std::nullopt;
+}
+
+int pluto::exitCodeFor(StatusCode S) {
+  switch (S) {
+  case StatusCode::Ok:
+    return 0;
+  case StatusCode::BadRequest:
+  case StatusCode::SourceError:
+    return 2;
+  case StatusCode::ScheduleAbort:
+  case StatusCode::Internal:
+    return 1;
+  case StatusCode::Overloaded:
+    return 3;
+  }
+  return 1;
+}
+
+int pluto::aggregateExitCodes(int A, int B) {
+  // Precedence 2 > 1 > 3 > 0: bad input beats internal failure beats
+  // overload beats success.
+  static constexpr int Order[] = {2, 1, 3, 0};
+  for (int C : Order)
+    if (A == C || B == C)
+      return C;
+  return A ? A : B;
+}
+
+void pluto::appendDiagnosticJson(std::string &Out, const std::string &Unit,
+                                 const Diagnostic &D) {
+  Out += "{\"unit\": " + jsonQuote(Unit) +
+         ", \"line\": " + std::to_string(D.Line) +
+         ", \"col\": " + std::to_string(D.Col) + ", \"severity\": \"" +
+         (D.Sev == Severity::Error ? "error" : "warning") +
+         "\", \"message\": " + jsonQuote(D.Message) + "}";
+}
+
+std::string
+pluto::diagnosticsJsonArray(const std::string &Unit,
+                            const std::vector<Diagnostic> &Diags) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    if (I)
+      Out += ", ";
+    appendDiagnosticJson(Out, Unit, Diags[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+std::string pluto::detail::encodeStatusError(StatusCode S,
+                                             const std::string &Msg) {
+  std::string Out;
+  Out.reserve(Msg.size() + 2);
+  Out += '\x01';
+  Out += static_cast<char>('0' + static_cast<unsigned>(S));
+  Out += Msg;
+  return Out;
+}
+
+std::pair<StatusCode, std::string>
+pluto::detail::decodeStatusError(const std::string &E) {
+  if (E.size() >= 2 && E[0] == '\x01' && E[1] >= '0' &&
+      E[1] < '0' + static_cast<char>(6))
+    return {static_cast<StatusCode>(E[1] - '0'), E.substr(2)};
+  return {StatusCode::Internal, E};
+}

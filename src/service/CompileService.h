@@ -1,0 +1,127 @@
+//===- service/CompileService.h - Request/response compile API --*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public unit of work of the compilation service: one CompileRequest
+/// in, one CompileResponse out, with a single StatusCode error taxonomy
+/// shared verbatim by Pipeline sessions, compileRequests() batches, the
+/// plutopp/plutoctl process exit codes and the plutod wire protocol
+/// (DESIGN.md section 12). The taxonomy replaces the ad-hoc bool + error
+/// string results the service layer grew up with:
+///
+///   ok             the unit compiled; EmittedC holds the translation unit
+///   bad-request    the request itself is malformed (invalid PlutoOptions,
+///                  undecodable wire payload, oversized body)
+///   source-error   the frontend rejected the source; Diags carries every
+///                  recovered diagnostic with line:col spans
+///   schedule-abort the Pluto scheduling search gave up on a parseable
+///                  program (budget abort, no legal affine schedule)
+///   internal       any other stage failure (lowering, codegen, I/O)
+///   overloaded     the serving side refused admission (bounded queue full,
+///                  draining, request deadline exceeded) - the 429 class;
+///                  never produced by in-process compilation
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_SERVICE_COMPILESERVICE_H
+#define PLUTOPP_SERVICE_COMPILESERVICE_H
+
+#include "driver/Driver.h"
+#include "parser/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pluto {
+
+/// The one error taxonomy of the compilation service (see file comment).
+enum class StatusCode : unsigned {
+  Ok,
+  BadRequest,
+  SourceError,
+  ScheduleAbort,
+  Internal,
+  Overloaded,
+};
+
+/// Stable wire/report name: "ok", "bad-request", "source-error",
+/// "schedule-abort", "internal", "overloaded".
+const char *statusCodeName(StatusCode S);
+
+/// Inverse of statusCodeName(); nullopt for unknown names.
+std::optional<StatusCode> statusCodeFromName(const std::string &Name);
+
+/// The one status -> process exit code table (plutopp and plutoctl):
+/// ok -> 0; bad-request, source-error -> 2; schedule-abort, internal -> 1;
+/// overloaded -> 3.
+int exitCodeFor(StatusCode S);
+
+/// Folds two per-unit exit codes into one process exit code with the
+/// documented precedence 2 (bad input) > 1 (internal) > 3 (overloaded)
+/// > 0, matching the historical plutopp behaviour where a source error
+/// anywhere in the batch decides the exit code.
+int aggregateExitCodes(int A, int B);
+
+/// One unit of compilation work. Name is a diagnostic label only (it is
+/// echoed in the response and in logs; it never affects the output or the
+/// cache key).
+struct CompileRequest {
+  std::string Name;
+  std::string Source;
+  PlutoOptions Opts;
+};
+
+/// Everything one request produces. Exactly one of the three payload
+/// shapes is populated, selected by Status: EmittedC (+Key, CacheHit) on
+/// ok; Diags (+Error summary) on source-error; Error alone otherwise.
+struct CompileResponse {
+  StatusCode Status = StatusCode::Internal;
+  /// Echo of CompileRequest::Name.
+  std::string Name;
+  /// Content-addressed cache key (64 hex chars); empty when the request
+  /// never reached keying (bad-request, overloaded).
+  std::string Key;
+  /// The complete emitted C translation unit (ok only).
+  std::string EmittedC;
+  /// True when EmittedC was served from the cache (memory or disk).
+  bool CacheHit = false;
+  /// Structured frontend diagnostics (source-error; every recovered
+  /// problem, with 1-based line:col spans).
+  std::vector<Diagnostic> Diags;
+  /// Human-readable failure summary; empty on ok.
+  std::string Error;
+
+  bool ok() const { return Status == StatusCode::Ok; }
+  int exitCode() const { return exitCodeFor(Status); }
+};
+
+/// Appends one diagnostic as the JSON object
+///   {"unit": ..., "line": L, "col": C, "severity": ..., "message": ...}
+/// - the single serializer behind both the --report=json "diagnostics"
+/// array and plutod wire responses, so the two schemas cannot drift.
+void appendDiagnosticJson(std::string &Out, const std::string &Unit,
+                          const Diagnostic &D);
+
+/// The full "[...]" JSON array of Diags under unit label Unit.
+std::string diagnosticsJsonArray(const std::string &Unit,
+                                 const std::vector<Diagnostic> &Diags);
+
+namespace detail {
+
+/// The ResultCache carries failures as bare strings; these helpers tag a
+/// StatusCode onto such a string (one \x01 + one status byte prefix) so
+/// classification survives the single-flight handoff to coalesced
+/// waiters. decode of an untagged string yields Internal.
+std::string encodeStatusError(StatusCode S, const std::string &Msg);
+std::pair<StatusCode, std::string> decodeStatusError(const std::string &E);
+
+} // namespace detail
+
+} // namespace pluto
+
+#endif // PLUTOPP_SERVICE_COMPILESERVICE_H

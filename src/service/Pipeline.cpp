@@ -123,6 +123,7 @@ Result<Pipeline> Pipeline::create(PlutoOptions Opts) {
 
 void Pipeline::setSource(std::string Source) {
   Src = std::move(Source);
+  FailStatus = StatusCode::Internal;
   SrcDiags.clear();
   ParsedArt.reset();
   DepsArt.reset();
@@ -140,8 +141,10 @@ Result<const ParsedProgram *> Pipeline::parsed() {
   ParseResult P = parseSourceDiags(Src);
   SrcDiags = P.Diags;
   count(Counter::ParserErrors, errorCount(SrcDiags));
-  if (!P.Program)
+  if (!P.Program) {
+    FailStatus = StatusCode::SourceError;
     return Err(joinDiagnostics(SrcDiags));
+  }
   for (const std::string &Pm : P.Program->Prog.ParamNames)
     P.Program->Prog.addContextBound(Pm, Opts.ParamMin);
   ParsedArt = std::move(*P.Program);
@@ -180,8 +183,12 @@ Result<const Schedule *> Pipeline::scheduled() {
   // the memoized DepsArt carries them afterwards, exactly like the
   // DG member of the one-shot PlutoResult always has.
   auto S = computeSchedule(ParsedArt->Prog, *DepsArt, TO);
-  if (!S)
+  if (!S) {
+    // Any scheduling-search failure on a parseable program (budget abort,
+    // no legal affine schedule) is the schedule-abort class.
+    FailStatus = StatusCode::ScheduleAbort;
     return Err(S.error());
+  }
   SchedArt = std::move(*S);
   return static_cast<const Schedule *>(&*SchedArt);
 }
@@ -276,29 +283,64 @@ std::string Pipeline::cacheKey(const std::string &Source) const {
   return H.hexDigest();
 }
 
-Result<CompileOutput> Pipeline::compile(std::string Source) {
-  CompileOutput Out;
-  Out.Key = cacheKey(Source);
-  setSource(std::move(Source));
-  if (!Cache) {
-    auto E = emitted();
-    if (!E)
-      return Err(E.error());
-    Out.EmittedC = **E;
-    return Out;
+CompileResponse Pipeline::compileRequest(const CompileRequest &Req) {
+  CompileResponse Resp;
+  Resp.Name = Req.Name;
+  if (Req.Opts != Opts) {
+    Resp.Status = StatusCode::BadRequest;
+    Resp.Error = "request options do not match this session's options "
+                 "(route requests to a session with a matching "
+                 "fingerprint, or use compileRequests())";
+    return Resp;
   }
+  Resp.Key = cacheKey(Req.Source);
+  setSource(Req.Source);
+
+  // The compute path tags its StatusCode onto the error string so the
+  // classification survives the single-flight handoff: a coalesced waiter
+  // receives the leader's tagged error, not its own session state.
   bool RanCold = false;
-  auto R = Cache->getOrCompute(Out.Key, [&]() -> Result<std::string> {
+  auto Cold = [&]() -> Result<std::string> {
     RanCold = true;
     auto E = emitted();
     if (!E)
-      return Err(E.error());
+      return Err(detail::encodeStatusError(FailStatus, E.error()));
     return **E;
-  });
-  if (!R)
-    return Err(R.error());
-  Out.EmittedC = std::move(*R);
-  Out.CacheHit = !RanCold;
+  };
+  Result<std::string> R =
+      Cache ? Cache->getOrCompute(Resp.Key, Cold) : Cold();
+  if (!R) {
+    auto [St, Msg] = detail::decodeStatusError(R.error());
+    Resp.Status = St;
+    Resp.Error = Msg;
+    if (St == StatusCode::SourceError) {
+      // Populate the structured diagnostics: from this session when it ran
+      // the parse itself, by re-parsing (cheap, frontend-only) when the
+      // failure was coalesced from another session.
+      if (!SrcDiags.empty())
+        Resp.Diags = SrcDiags;
+      else
+        Resp.Diags = parseSourceDiags(Req.Source).Diags;
+    }
+    return Resp;
+  }
+  Resp.Status = StatusCode::Ok;
+  Resp.EmittedC = std::move(*R);
+  Resp.CacheHit = !RanCold;
+  return Resp;
+}
+
+Result<CompileOutput> Pipeline::compile(std::string Source) {
+  CompileRequest Req;
+  Req.Source = std::move(Source);
+  Req.Opts = Opts;
+  CompileResponse Resp = compileRequest(Req);
+  if (!Resp.ok())
+    return Err(Resp.Error);
+  CompileOutput Out;
+  Out.Key = std::move(Resp.Key);
+  Out.EmittedC = std::move(Resp.EmittedC);
+  Out.CacheHit = Resp.CacheHit;
   return Out;
 }
 

@@ -38,6 +38,7 @@
 #define PLUTOPP_SERVICE_PIPELINE_H
 
 #include "driver/Driver.h"
+#include "service/CompileService.h"
 #include "service/ResultCache.h"
 
 #include <memory>
@@ -46,7 +47,10 @@
 
 namespace pluto {
 
-/// What compile() hands back for one source unit.
+/// What the legacy compile(std::string) shim hands back for one source
+/// unit. New code should use compileRequest(), whose CompileResponse
+/// carries the same fields plus the StatusCode taxonomy and structured
+/// diagnostics.
 struct CompileOutput {
   /// Content-addressed cache key of this unit (64 hex chars).
   std::string Key;
@@ -100,8 +104,19 @@ public:
   /// optimizeSource() is exactly create + setSource + takeLowered.
   Result<PlutoResult> takeLowered();
 
-  /// One-shot compile of Source through the attached cache (cold compile
-  /// when no cache is attached). Resets the session to Source.
+  /// One-shot compile of Req through the attached cache (cold compile
+  /// when no cache is attached), reporting through the service's
+  /// StatusCode taxonomy. Resets the session to Req.Source. Req.Opts must
+  /// equal this session's options (callers with heterogeneous option sets
+  /// route requests to matching sessions - see compileRequests()); a
+  /// mismatch is a bad-request response. On source-error the response
+  /// carries every recovered frontend diagnostic, even when the failure
+  /// was coalesced onto another session's in-flight compile.
+  CompileResponse compileRequest(const CompileRequest &Req);
+
+  /// One-shot compile of Source (legacy shim over compileRequest): the
+  /// response flattened back to Result<CompileOutput> with the error as a
+  /// bare string.
   Result<CompileOutput> compile(std::string Source);
 
   /// The content-addressed key compile() would use for Source under this
@@ -133,6 +148,10 @@ private:
   std::shared_ptr<ResultCache> Cache;
 
   std::string Src;
+  /// Classification of the most recent stage failure (parse ->
+  /// source-error, schedule -> schedule-abort, anything else -> internal);
+  /// reset by setSource().
+  StatusCode FailStatus = StatusCode::Internal;
   std::vector<Diagnostic> SrcDiags;
   std::optional<ParsedProgram> ParsedArt;
   std::optional<DependenceGraph> DepsArt;

@@ -1,0 +1,360 @@
+//===- support/Json.cpp - JSON value parsing and serialization ------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace pluto;
+
+namespace pluto {
+namespace detail {
+
+/// Recursive-descent parser over a complete document. Error messages carry
+/// the byte offset; the depth cap bounds stack use on adversarial input.
+struct JsonParser {
+  const std::string &S;
+  size_t Pos = 0;
+  static constexpr unsigned MaxDepth = 96;
+
+  explicit JsonParser(const std::string &S) : S(S) {}
+
+  std::string errAt(const std::string &What) const {
+    return "json: " + What + " at byte " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *L) {
+    size_t N = 0;
+    while (L[N])
+      ++N;
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  /// Appends the UTF-8 encoding of code point Cp.
+  static void appendUtf8(std::string &Out, unsigned Cp) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xC0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  Result<unsigned> hex4() {
+    if (Pos + 4 > S.size())
+      return Err(errAt("truncated \\u escape"));
+    unsigned V = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = S[Pos++];
+      V <<= 4;
+      if (C >= '0' && C <= '9')
+        V |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        V |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        V |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return Err(errAt("bad hex digit in \\u escape"));
+    }
+    return V;
+  }
+
+  Result<std::string> string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return Err(errAt("expected string"));
+    ++Pos;
+    std::string Out;
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return Out;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return Err(errAt("unescaped control character in string"));
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= S.size())
+        return Err(errAt("truncated escape"));
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        auto Hi = hex4();
+        if (!Hi)
+          return Err(Hi.error());
+        unsigned Cp = *Hi;
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          // High surrogate: must pair with \uDC00..\uDFFF.
+          if (Pos + 1 >= S.size() || S[Pos] != '\\' || S[Pos + 1] != 'u')
+            return Err(errAt("unpaired surrogate"));
+          Pos += 2;
+          auto Lo = hex4();
+          if (!Lo)
+            return Err(Lo.error());
+          if (*Lo < 0xDC00 || *Lo > 0xDFFF)
+            return Err(errAt("invalid low surrogate"));
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (*Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          return Err(errAt("unpaired surrogate"));
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return Err(errAt("unknown escape"));
+      }
+    }
+    return Err(errAt("unterminated string"));
+  }
+
+  Result<JsonValue> number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    bool Digits = false;
+    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
+      ++Pos;
+      Digits = true;
+    }
+    bool Fractional = false;
+    if (Pos < S.size() && S[Pos] == '.') {
+      Fractional = true;
+      ++Pos;
+      while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      Fractional = true;
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+        ++Pos;
+    }
+    if (!Digits)
+      return Err(errAt("expected number"));
+    std::string Tok = S.substr(Start, Pos - Start);
+    JsonValue V;
+    V.K = JsonValue::Kind::Number;
+    V.Num = std::strtod(Tok.c_str(), nullptr);
+    if (!Fractional) {
+      errno = 0;
+      long long I = std::strtoll(Tok.c_str(), nullptr, 10);
+      if (errno != ERANGE) {
+        V.IsInt = true;
+        V.Int = I;
+      }
+    }
+    return V;
+  }
+
+  Result<JsonValue> value(unsigned Depth) {
+    if (Depth > MaxDepth)
+      return Err(errAt("nesting too deep"));
+    skipWs();
+    if (Pos >= S.size())
+      return Err(errAt("unexpected end of input"));
+    char C = S[Pos];
+    JsonValue V;
+    switch (C) {
+    case 'n':
+      if (!literal("null"))
+        return Err(errAt("bad literal"));
+      return V;
+    case 't':
+      if (!literal("true"))
+        return Err(errAt("bad literal"));
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      return V;
+    case 'f':
+      if (!literal("false"))
+        return Err(errAt("bad literal"));
+      V.K = JsonValue::Kind::Bool;
+      V.B = false;
+      return V;
+    case '"': {
+      auto Str = string();
+      if (!Str)
+        return Err(Str.error());
+      V.K = JsonValue::Kind::String;
+      V.Str = std::move(*Str);
+      return V;
+    }
+    case '[': {
+      ++Pos;
+      V.K = JsonValue::Kind::Array;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return V;
+      }
+      for (;;) {
+        auto E = value(Depth + 1);
+        if (!E)
+          return Err(E.error());
+        V.Arr.push_back(std::move(*E));
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != ']')
+        return Err(errAt("expected ',' or ']'"));
+      ++Pos;
+      return V;
+    }
+    case '{': {
+      ++Pos;
+      V.K = JsonValue::Kind::Object;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return V;
+      }
+      for (;;) {
+        skipWs();
+        auto Key = string();
+        if (!Key)
+          return Err(Key.error());
+        skipWs();
+        if (Pos >= S.size() || S[Pos] != ':')
+          return Err(errAt("expected ':'"));
+        ++Pos;
+        auto E = value(Depth + 1);
+        if (!E)
+          return Err(E.error());
+        V.Obj.emplace_back(std::move(*Key), std::move(*E));
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != '}')
+        return Err(errAt("expected ',' or '}'"));
+      ++Pos;
+      return V;
+    }
+    default:
+      return number();
+    }
+  }
+};
+
+} // namespace detail
+} // namespace pluto
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+std::string JsonValue::toJson() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Number: {
+    if (IsInt)
+      return std::to_string(Int);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", Num);
+    return Buf;
+  }
+  case Kind::String:
+    return jsonQuote(Str);
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += Arr[I].toJson();
+    }
+    Out += ']';
+    return Out;
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    for (size_t I = 0; I < Obj.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += jsonQuote(Obj[I].first);
+      Out += ':';
+      Out += Obj[I].second.toJson();
+    }
+    Out += '}';
+    return Out;
+  }
+  }
+  return "null";
+}
+
+Result<JsonValue> JsonValue::parse(const std::string &Text) {
+  detail::JsonParser P(Text);
+  auto V = P.value(0);
+  if (!V)
+    return V;
+  P.skipWs();
+  if (P.Pos != Text.size())
+    return Err(P.errAt("trailing garbage after document"));
+  return V;
+}

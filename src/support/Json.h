@@ -5,19 +5,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The one JSON primitive every report producer needs: correct string
-/// escaping. Shared by the observe trace serializer, the PassStats report
-/// and the plutopp CLI so kernel names, diagnostic messages and trace
-/// events with quotes, backslashes, newlines or control characters always
-/// yield a valid document.
+/// The JSON primitives the toolchain's report producers and the plutod
+/// wire protocol share: correct string escaping (used by the observe trace
+/// serializer, the PassStats report and the plutopp CLI), a small
+/// recursive-descent parser into JsonValue (used to decode plutod
+/// CompileRequest lines), and a whitespace minifier that turns the pretty
+/// multi-line report documents into single-line values suitable for a
+/// newline-delimited protocol.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PLUTOPP_SUPPORT_JSON_H
 #define PLUTOPP_SUPPORT_JSON_H
 
+#include "support/Result.h"
+
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pluto {
 
@@ -62,6 +68,94 @@ inline std::string jsonQuote(const std::string &S) {
   Out += '"';
   return Out;
 }
+
+/// Removes every byte of whitespace outside string literals. Turns the
+/// pretty-printed report documents (PassStats::toJson) into one-line
+/// values that can be embedded in a newline-delimited protocol.
+inline std::string minifyJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  bool InStr = false, Esc = false;
+  for (char C : S) {
+    if (InStr) {
+      Out += C;
+      if (Esc)
+        Esc = false;
+      else if (C == '\\')
+        Esc = true;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (C == '"') {
+      InStr = true;
+      Out += C;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+      continue;
+    Out += C;
+  }
+  return Out;
+}
+
+namespace detail {
+struct JsonParser;
+} // namespace detail
+
+/// One parsed JSON document node. Strict parse (RFC 8259 value grammar,
+/// \uXXXX escapes decoded to UTF-8 including surrogate pairs) with a
+/// recursion-depth cap so hostile daemon input cannot overflow the stack.
+/// Object member order is preserved; duplicate keys keep the first
+/// occurrence in find().
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default; ///< null
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  /// True for numbers written without fraction/exponent that fit int64.
+  bool isInteger() const { return K == Kind::Number && IsInt; }
+  long long asInt() const {
+    return IsInt ? Int : static_cast<long long>(Num);
+  }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Object member lookup; null for non-objects or missing keys.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Compact (minified) serialization of this value.
+  std::string toJson() const;
+
+  /// Parses exactly one JSON document (trailing garbage is an error).
+  static Result<JsonValue> parse(const std::string &Text);
+
+private:
+  friend struct detail::JsonParser;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  bool IsInt = false;
+  long long Int = 0;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
 
 } // namespace pluto
 

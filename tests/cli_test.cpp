@@ -373,6 +373,44 @@ TEST(CliTest, MultiFileStdoutIsBannerSeparatedInInputOrder) {
   EXPECT_NE(R.Stdout.find("jacobi1d.c", B2), std::string::npos);
 }
 
+// Multi-file runs with a failing unit: the good unit still emits, stderr
+// ends with the per-unit status summary (one line per unit, StatusCode
+// names), and the exit code follows the aggregation table (source error
+// anywhere -> 2).
+TEST(CliTest, MultiFilePerUnitFailureSummary) {
+  std::string Bad = tempPath("_summary_bad.c");
+  {
+    std::ofstream Out(Bad);
+    Out << "for (i = 0; i < N; i++ {\n  a[i] = 0;\n}\n";
+  }
+  RunResult R = runCli(examplePath("matmul.c") + " " + Bad + " 2>&1");
+  EXPECT_EQ(R.ExitCode, 2);
+  // The failing batch names the failure count and each unit's status.
+  EXPECT_NE(R.Stdout.find("plutopp: 1 of 2 units failed:"),
+            std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find(Bad + ": source-error"), std::string::npos)
+      << R.Stdout;
+  // The good unit still made it to stdout, banner and all.
+  EXPECT_NE(R.Stdout.find("/* ===== plutopp: "), std::string::npos);
+  EXPECT_NE(R.Stdout.find("#pragma omp parallel for"), std::string::npos);
+  std::remove(Bad.c_str());
+}
+
+// The JSON report schema is versioned: every document leads with
+// "schema": 2 so report consumers (and the plutod metrics op, which emits
+// the same document) can detect drift.
+TEST(CliTest, ReportJsonCarriesSchemaVersion) {
+  std::string Out = tempPath("_schema.c");
+  RunResult R =
+      runCli("--report=json --out=" + Out + " " + examplePath("matmul.c"));
+  ASSERT_EQ(R.ExitCode, 0);
+  std::remove(Out.c_str());
+  EXPECT_NE(R.Stdout.find("\"schema\": 2"), std::string::npos) << R.Stdout;
+  // Leads the document: before any other member.
+  EXPECT_LT(R.Stdout.find("\"schema\": 2"), R.Stdout.find("\"passes\""));
+}
+
 TEST(CliTest, OutWithMultipleInputsRejected) {
   RunResult R = runCli("--out=" + tempPath("_multi.c") + " " +
                        examplePath("matmul.c") + " " +

@@ -519,4 +519,139 @@ TEST(BatchTest, WarmCacheIsAtLeastTenTimesFasterThanCold) {
       << "cold " << ColdSecs << "s vs warm " << WarmBest << "s";
 }
 
+//===----------------------------------------------------------------------===//
+// CompileRequest/CompileResponse: the StatusCode-taxonomy API surface
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceTest, PipelineCompileRequestReportsOkThenCacheHit) {
+  auto P = Pipeline::create();
+  ASSERT_TRUE(P.hasValue());
+  auto Cache = std::make_shared<ResultCache>();
+  P->attachCache(Cache);
+
+  CompileRequest Req;
+  Req.Name = "matmul";
+  Req.Source = MatMul;
+  CompileResponse R = P->compileRequest(Req);
+  ASSERT_EQ(R.Status, StatusCode::Ok);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.exitCode(), 0);
+  EXPECT_EQ(R.Name, "matmul");
+  EXPECT_EQ(R.Key.size(), 64u);
+  EXPECT_FALSE(R.CacheHit);
+  EXPECT_NE(R.EmittedC.find("#pragma"), std::string::npos);
+  EXPECT_TRUE(R.Error.empty());
+  EXPECT_TRUE(R.Diags.empty());
+
+  CompileResponse Again = P->compileRequest(Req);
+  ASSERT_EQ(Again.Status, StatusCode::Ok);
+  EXPECT_TRUE(Again.CacheHit);
+  EXPECT_EQ(Again.Key, R.Key);
+  EXPECT_EQ(Again.EmittedC, R.EmittedC);
+}
+
+TEST(CompileServiceTest, SourceErrorsCarryStructuredDiagnostics) {
+  auto P = Pipeline::create();
+  ASSERT_TRUE(P.hasValue());
+  CompileRequest Req;
+  Req.Name = "broken";
+  Req.Source = "for (i = 0; i < N; i++ {\n  a[i] = 0;\n}\n";
+  CompileResponse R = P->compileRequest(Req);
+  ASSERT_EQ(R.Status, StatusCode::SourceError);
+  EXPECT_EQ(R.exitCode(), 2);
+  EXPECT_FALSE(R.Error.empty());
+  ASSERT_FALSE(R.Diags.empty());
+  // Spans are 1-based and must point into the source, not be placeholders.
+  for (const Diagnostic &D : R.Diags) {
+    EXPECT_GE(D.Line, 1u);
+    EXPECT_GE(D.Col, 1u);
+    EXPECT_FALSE(D.Message.empty());
+  }
+}
+
+TEST(CompileServiceTest, SessionOptionMismatchIsBadRequest) {
+  PlutoOptions SessionOpts;
+  auto P = Pipeline::create(SessionOpts);
+  ASSERT_TRUE(P.hasValue());
+  CompileRequest Req;
+  Req.Name = "mismatch";
+  Req.Source = MatMul;
+  Req.Opts.TileSize = SessionOpts.TileSize + 1;
+  CompileResponse R = P->compileRequest(Req);
+  EXPECT_EQ(R.Status, StatusCode::BadRequest);
+  EXPECT_EQ(R.exitCode(), 2);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_TRUE(R.EmittedC.empty());
+}
+
+// compileRequests with heterogeneous per-request option sets: valid
+// requests succeed under their own options, an invalid option set fails
+// only its own slot with the validate() message, and responses stay
+// position-matched to requests.
+TEST(CompileServiceTest, CompileRequestsIsolatesPerRequestBadOptions) {
+  std::vector<CompileRequest> Reqs(4);
+  Reqs[0].Name = "default";
+  Reqs[0].Source = MatMul;
+  Reqs[1].Name = "untiled";
+  Reqs[1].Source = MatMul;
+  Reqs[1].Opts.Tile = false;
+  Reqs[2].Name = "bad-options";
+  Reqs[2].Source = MatMul;
+  Reqs[2].Opts.TileSize = 0;
+  Reqs[3].Name = "jacobi";
+  Reqs[3].Source = Jacobi;
+
+  BatchOptions BO;
+  BO.Jobs = 2;
+  BO.Cache = std::make_shared<ResultCache>();
+  auto Rs = compileRequests(Reqs, BO);
+  ASSERT_EQ(Rs.size(), Reqs.size());
+
+  EXPECT_EQ(Rs[0].Status, StatusCode::Ok);
+  EXPECT_EQ(Rs[1].Status, StatusCode::Ok);
+  EXPECT_EQ(Rs[3].Status, StatusCode::Ok);
+  // Different options must key (and emit) differently.
+  EXPECT_NE(Rs[0].Key, Rs[1].Key);
+  EXPECT_NE(Rs[0].EmittedC, Rs[1].EmittedC);
+
+  EXPECT_EQ(Rs[2].Status, StatusCode::BadRequest);
+  EXPECT_EQ(Rs[2].Name, "bad-options");
+  EXPECT_NE(Rs[2].Error.find("tile size"), std::string::npos)
+      << "bad-request error should name the offending field: " << Rs[2].Error;
+  EXPECT_TRUE(Rs[2].Key.empty());
+}
+
+TEST(CompileServiceTest, StatusErrorTagsSurviveTheCacheStringChannel) {
+  using namespace pluto::detail;
+  for (StatusCode S :
+       {StatusCode::Ok, StatusCode::BadRequest, StatusCode::SourceError,
+        StatusCode::ScheduleAbort, StatusCode::Internal,
+        StatusCode::Overloaded}) {
+    auto [Decoded, Msg] = decodeStatusError(encodeStatusError(S, "why"));
+    EXPECT_EQ(Decoded, S);
+    EXPECT_EQ(Msg, "why");
+  }
+  // Untagged strings (from code predating the taxonomy) classify Internal.
+  auto [S, Msg] = decodeStatusError("plain failure");
+  EXPECT_EQ(S, StatusCode::Internal);
+  EXPECT_EQ(Msg, "plain failure");
+}
+
+TEST(CompileServiceTest, SharedDiagnosticSerializerShapesJson) {
+  Diagnostic D;
+  D.Line = 3;
+  D.Col = 7;
+  D.Message = "unexpected token '{'";
+  std::string One;
+  appendDiagnosticJson(One, "unit \"a\".c", D);
+  EXPECT_EQ(One, "{\"unit\": \"unit \\\"a\\\".c\", \"line\": 3, \"col\": 7, "
+                 "\"severity\": \"error\", \"message\": \"unexpected token "
+                 "'{'\"}");
+  EXPECT_EQ(diagnosticsJsonArray("u.c", {}), "[]");
+  std::string Arr = diagnosticsJsonArray("u.c", {D, D});
+  EXPECT_EQ(Arr.front(), '[');
+  EXPECT_EQ(Arr.back(), ']');
+  EXPECT_NE(Arr.find("}, {"), std::string::npos);
+}
+
 } // namespace

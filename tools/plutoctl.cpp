@@ -1,0 +1,364 @@
+//===- tools/plutoctl.cpp - plutod client ---------------------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+//
+// plutoctl: command-line client for the plutod compile daemon. Pipelines
+// every input file to the daemon over one connection (requests carry an
+// integer id, so out-of-order completions from the daemon's worker pool
+// are re-sequenced here), renders source diagnostics locally with the
+// same caret snippets plutopp shows, and exits through the shared
+// StatusCode -> exit-code table, so scripts cannot tell the daemon path
+// from the in-process path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Diagnostics.h"
+#include "serve/Protocol.h"
+#include "service/CompileService.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <poll.h>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace pluto;
+using namespace pluto::serve;
+
+namespace {
+
+const char *Usage =
+    "usage: plutoctl --socket=PATH [options] [input.c ...]\n"
+    "\n"
+    "Client for the plutod compile daemon. Compiles the given restricted-C\n"
+    "units (stdin when none are given) through the daemon and writes the\n"
+    "generated C to stdout in input order, separated by banner comments,\n"
+    "or under --out-dir. Exit codes match plutopp: 0 ok, 2 bad input or\n"
+    "bad request, 1 internal/schedule failure, 3 overloaded.\n"
+    "\n"
+    "operations:\n"
+    "  (default)                  compile the inputs\n"
+    "  --ping                     health-check the daemon\n"
+    "  --metrics                  print the daemon's metrics document\n"
+    "\n"
+    "transformation options (plutopp names, forwarded on the wire):\n"
+    "  --tile/--no-tile, --tile-size=N, --l2tile/--no-l2tile,\n"
+    "  --l2tile-size=N, --parallel/--no-parallel,\n"
+    "  --vectorize/--no-vectorize,\n"
+    "  --include-input-deps/--no-include-input-deps,\n"
+    "  --fast-schedule/--no-fast-schedule, --param-min=N\n"
+    "\n"
+    "output options:\n"
+    "  --out-dir=DIR              write each unit to DIR/<stem>.pluto.c\n";
+
+struct Client {
+  int Fd = -1;
+  std::string InBuf;
+  std::string OutBuf;
+
+  ~Client() {
+    if (Fd >= 0)
+      close(Fd);
+  }
+
+  bool connectTo(const std::string &Path, std::string &Error) {
+    sockaddr_un Addr;
+    if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+      Error = "bad socket path";
+      return false;
+    }
+    Fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Fd < 0) {
+      Error = std::string("socket(): ") + std::strerror(errno);
+      return false;
+    }
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+    if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+      Error = "connect(" + Path + "): " + std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+
+  void queue(const std::string &Line) {
+    OutBuf += Line;
+    OutBuf += '\n';
+  }
+
+  /// Pumps the connection until Want complete response lines have been
+  /// collected (interleaving writes and reads, so a deep pipeline of
+  /// large requests cannot deadlock against the daemon's replies).
+  bool pump(size_t Want, std::vector<std::string> &Lines,
+            std::string &Error) {
+    while (Lines.size() < Want) {
+      pollfd P{Fd, POLLIN, 0};
+      if (!OutBuf.empty())
+        P.events |= POLLOUT;
+      if (poll(&P, 1, 30000) <= 0) {
+        Error = "timed out waiting for the daemon";
+        return false;
+      }
+      if (!OutBuf.empty() && (P.revents & POLLOUT)) {
+        ssize_t W = send(Fd, OutBuf.data(), OutBuf.size(), MSG_NOSIGNAL);
+        if (W > 0)
+          OutBuf.erase(0, static_cast<size_t>(W));
+        else if (W < 0 && errno != EAGAIN && errno != EINTR) {
+          Error = std::string("send(): ") + std::strerror(errno);
+          return false;
+        }
+      }
+      if (P.revents & (POLLIN | POLLHUP)) {
+        char Buf[65536];
+        ssize_t R = recv(Fd, Buf, sizeof(Buf), 0);
+        if (R > 0) {
+          InBuf.append(Buf, static_cast<size_t>(R));
+          size_t Pos;
+          while ((Pos = InBuf.find('\n')) != std::string::npos) {
+            Lines.push_back(InBuf.substr(0, Pos));
+            InBuf.erase(0, Pos + 1);
+          }
+        } else if (R == 0) {
+          if (Lines.size() < Want) {
+            Error = "daemon closed the connection";
+            return false;
+          }
+        } else if (errno != EAGAIN && errno != EINTR) {
+          Error = std::string("recv(): ") + std::strerror(errno);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+std::string readStream(std::istream &In) {
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string stemOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  if (Dot != std::string::npos && Dot > 0)
+    Base.resize(Dot);
+  return Base;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket;
+  std::string OutDir;
+  bool DoPing = false, DoMetrics = false;
+  PlutoOptions Opts;
+  std::vector<std::string> Inputs;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Num = [&](size_t Prefix) -> long long {
+      return std::strtoll(A.c_str() + Prefix, nullptr, 10);
+    };
+    if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else if (A.rfind("--socket=", 0) == 0)
+      Socket = A.substr(9);
+    else if (A == "--ping")
+      DoPing = true;
+    else if (A == "--metrics")
+      DoMetrics = true;
+    else if (A.rfind("--out-dir=", 0) == 0)
+      OutDir = A.substr(10);
+    else if (A == "--tile")
+      Opts.Tile = true;
+    else if (A == "--no-tile")
+      Opts.Tile = false;
+    else if (A.rfind("--tile-size=", 0) == 0)
+      Opts.TileSize = static_cast<unsigned>(Num(12));
+    else if (A == "--l2tile")
+      Opts.SecondLevelTile = true;
+    else if (A == "--no-l2tile")
+      Opts.SecondLevelTile = false;
+    else if (A.rfind("--l2tile-size=", 0) == 0)
+      Opts.L2TileSize = static_cast<unsigned>(Num(14));
+    else if (A == "--parallel")
+      Opts.Parallelize = true;
+    else if (A == "--no-parallel")
+      Opts.Parallelize = false;
+    else if (A == "--vectorize")
+      Opts.Vectorize = true;
+    else if (A == "--no-vectorize")
+      Opts.Vectorize = false;
+    else if (A == "--include-input-deps")
+      Opts.IncludeInputDeps = true;
+    else if (A == "--no-include-input-deps")
+      Opts.IncludeInputDeps = false;
+    else if (A == "--fast-schedule")
+      Opts.FastSchedule = true;
+    else if (A == "--no-fast-schedule")
+      Opts.FastSchedule = false;
+    else if (A.rfind("--param-min=", 0) == 0)
+      Opts.ParamMin = Num(12);
+    else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "plutoctl: unknown option '%s'\n%s", A.c_str(),
+                   Usage);
+      return 2;
+    } else
+      Inputs.push_back(A);
+  }
+
+  if (Socket.empty()) {
+    std::fprintf(stderr, "plutoctl: --socket=PATH is required\n%s", Usage);
+    return 2;
+  }
+
+  Client C;
+  std::string Error;
+  if (!C.connectTo(Socket, Error)) {
+    std::fprintf(stderr, "plutoctl: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (DoPing || DoMetrics) {
+    WireRequest R;
+    R.Operation = DoMetrics ? Op::Metrics : Op::Ping;
+    R.Id = "0";
+    C.queue(encodeRequest(R));
+    std::vector<std::string> Lines;
+    if (!C.pump(1, Lines, Error)) {
+      std::fprintf(stderr, "plutoctl: %s\n", Error.c_str());
+      return 1;
+    }
+    auto Resp = decodeResponse(Lines[0]);
+    if (!Resp) {
+      std::fprintf(stderr, "plutoctl: bad response: %s\n",
+                   Resp.error().c_str());
+      return 1;
+    }
+    if (!Resp->ok()) {
+      std::fprintf(stderr, "plutoctl: daemon answered %s: %s\n",
+                   statusCodeName(Resp->Status), Resp->Error.c_str());
+      return exitCodeFor(Resp->Status);
+    }
+    if (DoMetrics)
+      std::printf("%s\n", Resp->MetricsJson.c_str());
+    else
+      std::printf("ok\n");
+    return 0;
+  }
+
+  // Compile path: read every input up front, pipeline all requests.
+  struct Unit {
+    std::string Name;
+    std::string Source;
+  };
+  std::vector<Unit> Units;
+  if (Inputs.empty()) {
+    Units.push_back({"<stdin>", readStream(std::cin)});
+  } else {
+    for (const std::string &Path : Inputs) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "plutoctl: cannot read '%s'\n", Path.c_str());
+        return 2;
+      }
+      Units.push_back({Path, readStream(In)});
+    }
+  }
+
+  for (size_t I = 0; I < Units.size(); ++I) {
+    WireRequest R;
+    R.Operation = Op::Compile;
+    R.Id = std::to_string(I);
+    R.Req.Name = Units[I].Name;
+    R.Req.Source = Units[I].Source;
+    R.Req.Opts = Opts;
+    C.queue(encodeRequest(R));
+  }
+
+  std::vector<std::string> Lines;
+  if (!C.pump(Units.size(), Lines, Error)) {
+    std::fprintf(stderr, "plutoctl: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // Re-sequence by echoed id (the daemon's worker pool may complete a
+  // connection's jobs out of order).
+  std::map<size_t, WireResponse> ById;
+  for (const std::string &L : Lines) {
+    auto Resp = decodeResponse(L);
+    if (!Resp) {
+      std::fprintf(stderr, "plutoctl: bad response line: %s\n",
+                   Resp.error().c_str());
+      return 1;
+    }
+    size_t Id = static_cast<size_t>(std::strtoull(Resp->Id.c_str(),
+                                                  nullptr, 10));
+    ById[Id] = std::move(*Resp);
+  }
+
+  int Exit = 0;
+  unsigned Failed = 0;
+  for (size_t I = 0; I < Units.size(); ++I) {
+    auto It = ById.find(I);
+    if (It == ById.end()) {
+      std::fprintf(stderr, "plutoctl: no response for '%s'\n",
+                   Units[I].Name.c_str());
+      Exit = aggregateExitCodes(Exit, 1);
+      ++Failed;
+      continue;
+    }
+    const WireResponse &R = It->second;
+    if (!R.ok()) {
+      ++Failed;
+      std::fprintf(stderr, "plutoctl: %s: %s: %s\n", Units[I].Name.c_str(),
+                   statusCodeName(R.Status), R.Error.c_str());
+      // Diagnostics render locally: the daemon sends spans, we own the
+      // source text the snippets come from.
+      for (const Diagnostic &D : R.Diags) {
+        std::string Snip = renderSnippet(Units[I].Source, D);
+        std::fprintf(stderr, "%s: %s\n", Units[I].Name.c_str(),
+                     D.toString().c_str());
+        if (!Snip.empty())
+          std::fputs(Snip.c_str(), stderr);
+      }
+      Exit = aggregateExitCodes(Exit, exitCodeFor(R.Status));
+      continue;
+    }
+    if (!OutDir.empty()) {
+      std::string Path = OutDir + "/" + stemOf(Units[I].Name) + ".pluto.c";
+      std::ofstream Out(Path);
+      if (!Out) {
+        std::fprintf(stderr, "plutoctl: cannot write '%s'\n", Path.c_str());
+        Exit = aggregateExitCodes(Exit, 1);
+        continue;
+      }
+      Out << R.EmittedC;
+    } else {
+      if (Units.size() > 1)
+        std::printf("/* ===== plutopp: %s ===== */\n", Units[I].Name.c_str());
+      std::fputs(R.EmittedC.c_str(), stdout);
+    }
+  }
+
+  if (Units.size() > 1 && Failed)
+    std::fprintf(stderr, "plutoctl: %u of %zu units failed\n", Failed,
+                 Units.size());
+  return Exit;
+}

@@ -1,0 +1,162 @@
+//===- tools/plutod.cpp - Pluto compile daemon ----------------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+//
+// plutod: serves Pluto compilations over a local AF_UNIX socket speaking
+// the newline-delimited JSON protocol of serve/Protocol.h. One daemon
+// amortizes a warm in-memory result cache (and optionally a persistent
+// one) across every client on the machine; plutoctl is the matching
+// client. SIGTERM/SIGINT trigger a graceful drain: accepted jobs finish,
+// replies flush, then the process exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "service/Version.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+using namespace pluto;
+using namespace pluto::serve;
+
+namespace {
+
+const char *Usage =
+    "usage: plutod --socket=PATH [options]\n"
+    "\n"
+    "Compile daemon: serves Pluto compilations over a local socket using\n"
+    "the NDJSON protocol (one JSON request per line, one response per\n"
+    "line; see DESIGN.md section 12). Use plutoctl to talk to it.\n"
+    "\n"
+    "options (defaults shown):\n"
+    "  --socket=PATH              AF_UNIX socket path to listen on\n"
+    "  --workers=N                compile worker threads (0 = all\n"
+    "                             hardware threads)\n"
+    "  --shards=N                 result-cache lock shards (8)\n"
+    "  --queue=N                  max queued compile jobs before new\n"
+    "                             requests are rejected overloaded (128)\n"
+    "  --cache-bytes=N            in-memory cache budget in bytes\n"
+    "                             (67108864), split across shards\n"
+    "  --cache-dir=DIR            persistent result cache shared with\n"
+    "                             plutopp --cache-dir\n"
+    "  --max-request-bytes=N      per-request-line byte cap (8388608)\n"
+    "  --timeout-ms=N             queue-wait deadline per request\n"
+    "                             (0 = unlimited)\n"
+    "  --quiet                    no per-request log lines on stderr\n"
+    "  --version                  print toolchain version and exit\n"
+    "  --help                     this text\n";
+
+int SigPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  char B = 1;
+  // Best effort: a full pipe already has a wakeup queued.
+  (void)!write(SigPipe[1], &B, 1);
+}
+
+long long numArg(const std::string &Arg, size_t Prefix, bool &Ok) {
+  errno = 0;
+  char *End = nullptr;
+  const char *Begin = Arg.c_str() + Prefix;
+  long long V = std::strtoll(Begin, &End, 10);
+  Ok = End != Begin && *End == '\0' && errno == 0 && V >= 0;
+  return V;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerConfig Cfg;
+  Cfg.LogStream = stderr;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    bool Ok = true;
+    if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else if (A == "--version") {
+      std::printf("plutod %s\n", ToolchainVersion);
+      return 0;
+    } else if (A.rfind("--socket=", 0) == 0)
+      Cfg.SocketPath = A.substr(9);
+    else if (A.rfind("--workers=", 0) == 0)
+      Cfg.Workers = static_cast<unsigned>(numArg(A, 10, Ok));
+    else if (A.rfind("--shards=", 0) == 0)
+      Cfg.CacheShards = static_cast<unsigned>(numArg(A, 9, Ok));
+    else if (A.rfind("--queue=", 0) == 0)
+      Cfg.MaxQueue = static_cast<size_t>(numArg(A, 8, Ok));
+    else if (A.rfind("--cache-bytes=", 0) == 0)
+      Cfg.CacheMaxBytes = static_cast<size_t>(numArg(A, 14, Ok));
+    else if (A.rfind("--cache-dir=", 0) == 0)
+      Cfg.CacheDir = A.substr(12);
+    else if (A.rfind("--max-request-bytes=", 0) == 0)
+      Cfg.MaxRequestBytes = static_cast<size_t>(numArg(A, 20, Ok));
+    else if (A.rfind("--timeout-ms=", 0) == 0)
+      Cfg.RequestTimeoutMs = numArg(A, 13, Ok);
+    else if (A == "--quiet")
+      Cfg.LogStream = nullptr;
+    else {
+      std::fprintf(stderr, "plutod: unknown option '%s'\n%s", A.c_str(),
+                   Usage);
+      return 2;
+    }
+    if (!Ok) {
+      std::fprintf(stderr, "plutod: bad numeric value in '%s'\n", A.c_str());
+      return 2;
+    }
+  }
+
+  if (Cfg.SocketPath.empty()) {
+    std::fprintf(stderr, "plutod: --socket=PATH is required\n%s", Usage);
+    return 2;
+  }
+
+  if (pipe(SigPipe) != 0) {
+    std::perror("plutod: pipe");
+    return 1;
+  }
+
+  auto S = Server::create(Cfg);
+  if (!S) {
+    std::fprintf(stderr, "plutod: %s\n", S.error().c_str());
+    return 1;
+  }
+
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  (*S)->start();
+  std::fprintf(stderr,
+               "plutod %s listening on %s (workers=%u, shards=%u, "
+               "queue=%zu)\n",
+               ToolchainVersion, (*S)->socketPath().c_str(), Cfg.Workers,
+               Cfg.CacheShards, Cfg.MaxQueue);
+
+  // Block until a termination signal arrives.
+  char B;
+  while (read(SigPipe[0], &B, 1) < 0 && errno == EINTR)
+    ;
+
+  std::fprintf(stderr, "plutod: draining...\n");
+  (*S)->drain();
+  Server::Stats St = (*S)->stats();
+  std::fprintf(stderr,
+               "plutod: drained (accepted=%llu completed=%llu "
+               "rejected=%llu)\n",
+               static_cast<unsigned long long>(St.RequestsAccepted),
+               static_cast<unsigned long long>(St.RequestsCompleted),
+               static_cast<unsigned long long>(St.RejectedOverload));
+  return St.RequestsAccepted == St.RequestsCompleted ? 0 : 1;
+}

@@ -10,9 +10,11 @@
 // (--x / --no-x), and --report dumps the toolchain-wide diagnostics from
 // src/observe including the cache hit/miss/eviction counters.
 //
-// Exit codes: 0 success, 1 I/O or internal compilation failure, 2 invalid
-// options (PlutoOptions::validate()) or source errors (frontend
-// diagnostics).
+// Exit codes come from the shared StatusCode table (service/
+// CompileService.h): 0 success, 1 internal/schedule failure (also plain
+// I/O problems), 2 invalid options or source errors, 3 overloaded (only
+// reachable through a daemon; never in-process). Multi-file batches fold
+// per-unit codes with the documented precedence 2 > 1 > 3 > 0.
 //
 //===----------------------------------------------------------------------===//
 
@@ -262,46 +264,45 @@ int main(int argc, char **argv) {
   if (WantTrace)
     setActiveTrace(&Tr);
 
-  auto BatchRes = compileBatch(Batch, Opts, BO);
+  std::vector<CompileRequest> Reqs;
+  Reqs.reserve(Batch.size());
+  for (const CompileJob &J : Batch)
+    Reqs.push_back({J.Name, J.Source, Opts});
+  std::vector<CompileResponse> Resps = compileRequests(Reqs, BO);
   setActiveStats(nullptr);
   setActiveTrace(nullptr);
-  if (!BatchRes) { // invalid options; unreachable after validate() above
-    std::fprintf(stderr, "plutopp: %s\n", BatchRes.error().c_str());
-    return 2;
-  }
 
   // Report every failed unit, write the successful ones: to
   // --out/--out-dir files, or concatenated on stdout in input order
-  // (banner-separated when there are several). Units that failed in the
-  // frontend are re-parsed with full recovery so every problem is shown
-  // with its line:col span and a caret snippet (and drives exit code 2);
-  // failures past the frontend keep the single-message form (exit code 1).
-  bool AnyFailed = false, SourceErrors = false, WroteStdout = false;
+  // (banner-separated when there are several). Responses carry the
+  // frontend's structured diagnostics, so every source problem is shown
+  // with its line:col span and a caret snippet; the process exit code
+  // folds the per-unit StatusCode exit codes through the one shared
+  // table (2 bad input > 1 internal > 3 overloaded > 0).
+  int Exit = 0;
+  bool WroteStdout = false;
+  unsigned FailedUnits = 0;
+  std::vector<const char *> UnitStatus(Batch.size(), "ok");
   std::string DiagsJson; // Rendered entries of the JSON "diagnostics" array.
   for (size_t I = 0; I < Batch.size(); ++I) {
-    const Result<CompileOutput> &R = (*BatchRes)[I];
-    if (!R) {
-      AnyFailed = true;
-      ParseResult PR = parseSourceDiags(Batch[I].Source);
-      if (!PR.Diags.empty()) {
-        for (const Diagnostic &D : PR.Diags) {
+    const CompileResponse &R = Resps[I];
+    UnitStatus[I] = statusCodeName(R.Status);
+    Exit = aggregateExitCodes(Exit, R.exitCode());
+    if (!R.ok()) {
+      ++FailedUnits;
+      if (!R.Diags.empty()) {
+        for (const Diagnostic &D : R.Diags) {
           std::fprintf(stderr, "plutopp: %s: %s\n", Batch[I].Name.c_str(),
                        D.toString().c_str());
           std::fputs(renderSnippet(Batch[I].Source, D).c_str(), stderr);
           if (Report == ReportMode::Json) {
-            DiagsJson += DiagsJson.empty() ? "\n    {" : ",\n    {";
-            DiagsJson += "\"unit\": " + jsonQuote(Batch[I].Name) +
-                         ", \"line\": " + std::to_string(D.Line) +
-                         ", \"col\": " + std::to_string(D.Col) +
-                         ", \"severity\": \"" +
-                         (D.Sev == Severity::Error ? "error" : "warning") +
-                         "\", \"message\": " + jsonQuote(D.Message) + "}";
+            DiagsJson += DiagsJson.empty() ? "\n    " : ",\n    ";
+            appendDiagnosticJson(DiagsJson, Batch[I].Name, D);
           }
         }
-        SourceErrors |= hasErrors(PR.Diags);
       } else {
         std::fprintf(stderr, "plutopp: %s: %s\n", Batch[I].Name.c_str(),
-                     R.error().c_str());
+                     R.Error.c_str());
       }
       continue;
     }
@@ -309,27 +310,42 @@ int main(int argc, char **argv) {
       std::string Path = OutDir + "/" + stemOf(Batch[I].Name) + ".pluto.c";
       std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
       if (Out)
-        Out.write(R->EmittedC.data(),
-                  static_cast<std::streamsize>(R->EmittedC.size()));
+        Out.write(R.EmittedC.data(),
+                  static_cast<std::streamsize>(R.EmittedC.size()));
       if (!Out) {
         std::fprintf(stderr, "plutopp: cannot write '%s'\n", Path.c_str());
-        AnyFailed = true;
+        UnitStatus[I] = "write-error";
+        ++FailedUnits;
+        Exit = aggregateExitCodes(Exit, exitCodeFor(StatusCode::Internal));
       }
     } else if (!OutPath.empty()) {
       std::ofstream Out(OutPath, std::ios::binary | std::ios::trunc);
       if (Out)
-        Out.write(R->EmittedC.data(),
-                  static_cast<std::streamsize>(R->EmittedC.size()));
+        Out.write(R.EmittedC.data(),
+                  static_cast<std::streamsize>(R.EmittedC.size()));
       if (!Out) {
         std::fprintf(stderr, "plutopp: cannot write '%s'\n", OutPath.c_str());
-        AnyFailed = true;
+        UnitStatus[I] = "write-error";
+        ++FailedUnits;
+        Exit = aggregateExitCodes(Exit, exitCodeFor(StatusCode::Internal));
       }
     } else {
       if (Batch.size() > 1)
         std::printf("/* ===== plutopp: %s ===== */\n", Batch[I].Name.c_str());
-      std::fputs(R->EmittedC.c_str(), stdout);
+      std::fputs(R.EmittedC.c_str(), stdout);
       WroteStdout = true;
     }
+  }
+
+  // Multi-file runs used to end with just an exit code; now every unit's
+  // terminal status is summarized so a failing file in a big batch is
+  // findable without scrolling the diagnostics.
+  if (Batch.size() > 1 && FailedUnits) {
+    std::fprintf(stderr, "plutopp: %u of %zu units failed:\n", FailedUnits,
+                 Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I)
+      std::fprintf(stderr, "plutopp:   %s: %s\n", Batch[I].Name.c_str(),
+                   UnitStatus[I]);
   }
 
   // The report goes to stderr so it never mixes with code on stdout; when
@@ -351,7 +367,5 @@ int main(int argc, char **argv) {
       }
     }
   }
-  if (SourceErrors)
-    return 2;
-  return AnyFailed ? 1 : 0;
+  return Exit;
 }
