@@ -227,3 +227,252 @@ if ! wait "$DAEMON_PID"; then
 fi
 rm -f "$SOCK" "$DLOG" "$SERVED" "$LOCAL" "$METRICS"
 echo "ci-sanitize: plutod sanitizer soak OK"
+
+# Fault-injection soak: every FaultInjector site armed at least once at
+# process level (the robustness_test suite under ctest above already
+# exercises each site's failure classification in-process; this part
+# checks whole-process degraded behaviour under the sanitizers). The
+# rule being checked throughout: lose the optimization, never the
+# compile - and never the daemon.
+FD_CACHE="$BUILD_DIR/ci-fault-cache"
+FD_OUT="$BUILD_DIR/ci-fault-out.c"
+FD_REF="$BUILD_DIR/ci-fault-ref.c"
+rm -rf "$FD_CACHE" "$FD_OUT" "$FD_REF"
+
+# cache.disk_write: every disk write fails -> the compile still succeeds
+# (memory tier only), the counter reports it, and no torn entry lands on
+# disk.
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+PLUTOPP_FAULT='cache.disk_write:*' \
+  "$CLI" --cache-dir="$FD_CACHE" --report=json --out="$FD_OUT" \
+    "$SRC_DIR/examples/matmul.c" > "$BUILD_DIR/ci-fault-report.json" \
+    2> /dev/null
+if ! grep -q '"cache_write_errors": *[1-9]' "$BUILD_DIR/ci-fault-report.json"; then
+  echo "ci-sanitize: cache.disk_write fault left no cache_write_errors" >&2
+  exit 1
+fi
+if [ -n "$(find "$FD_CACHE" -name '*.c' 2> /dev/null)" ]; then
+  echo "ci-sanitize: cache.disk_write fault still persisted an entry" >&2
+  exit 1
+fi
+
+# cache.disk_read: prime the disk cache cleanly, then fail every disk
+# read - the entry is just a miss, the compile runs cold, and the output
+# stays byte-identical.
+"$CLI" --cache-dir="$FD_CACHE" "$SRC_DIR/examples/matmul.c" > "$FD_REF" \
+  2> /dev/null
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+PLUTOPP_FAULT='cache.disk_read:*' \
+  "$CLI" --cache-dir="$FD_CACHE" "$SRC_DIR/examples/matmul.c" > "$FD_OUT" \
+    2> /dev/null
+if ! diff "$FD_OUT" "$FD_REF" > /dev/null; then
+  echo "ci-sanitize: cache.disk_read fault changed the output" >&2
+  exit 1
+fi
+
+# jit.compile / bigint.alloc: armed through a full CLI compile - neither
+# fires on a well-behaved kernel (the JIT is not on the plutopp path and
+# matmul needs no big limbs), and the run must stay byte-identical with
+# the sites armed. Their actual failure paths (retry-once, bad_alloc ->
+# resource-exhausted) are pinned by tests/robustness_test.cpp.
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+PLUTOPP_FAULT='jit.compile:1,bigint.alloc:1' \
+  "$CLI" "$SRC_DIR/examples/matmul.c" > "$FD_OUT" 2> /dev/null
+if ! diff "$FD_OUT" "$FD_REF" > /dev/null; then
+  echo "ci-sanitize: armed-but-idle fault sites changed the output" >&2
+  exit 1
+fi
+rm -rf "$FD_CACHE" "$FD_OUT" "$FD_REF" "$BUILD_DIR/ci-fault-report.json"
+echo "ci-sanitize: CLI fault-injection soak OK"
+
+# Resource-bomb corpus: pathological inputs must exit 4 (resource
+# exhausted) under a deterministic work budget, promptly, instead of
+# spinning the sanitizer build.
+for BOMB_SPEC in deep_nest.c:200000 wide_coupled.c:20000; do
+  BOMB="$SRC_DIR/tests/corpus/bombs/${BOMB_SPEC%%:*}"
+  WORK="${BOMB_SPEC##*:}"
+  STATUS=0
+  ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    "$CLI" --max-work="$WORK" "$BOMB" > /dev/null 2>&1 || STATUS=$?
+  if [ "$STATUS" -ne 4 ]; then
+    echo "ci-sanitize: expected exit 4 for bomb $BOMB, got $STATUS" >&2
+    exit 1
+  fi
+done
+echo "ci-sanitize: resource-bomb budget regressions OK"
+
+# plutoctl connection retry: a socket nobody serves must fail cleanly
+# after the bounded backoff, not hang.
+if "$PLUTOCTL" --socket="$BUILD_DIR/ci-no-such.sock" --retries=2 --ping \
+    > /dev/null 2>&1; then
+  echo "ci-sanitize: plutoctl connected to a nonexistent socket" >&2
+  exit 1
+fi
+
+# Helper for the daemon soaks below: start plutod with $PLUTOD_ARGS and
+# $PLUTOD_FAULT, wait for a ping, run the commands, then drain and check
+# the zero-dropped-jobs invariant (plutod exits non-zero when accepted
+# != completed).
+start_plutod() {
+  rm -f "$SOCK"
+  ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+  PLUTOPP_FAULT="$1" \
+    "$PLUTOD" --socket="$SOCK" --quiet $2 2> "$DLOG" &
+  DAEMON_PID=$!
+  TRIES=0
+  until "$PLUTOCTL" --socket="$SOCK" --retries=1 --ping > /dev/null 2>&1; do
+    TRIES=$((TRIES + 1))
+    if [ "$TRIES" -ge 100 ]; then
+      echo "ci-sanitize: plutod ($2) never answered a ping" >&2
+      cat "$DLOG" >&2
+      kill "$DAEMON_PID" 2> /dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+drain_plutod() {
+  kill -TERM "$DAEMON_PID"
+  if ! wait "$DAEMON_PID"; then
+    echo "ci-sanitize: plutod ($1) dropped requests on drain" >&2
+    cat "$DLOG" >&2
+    exit 1
+  fi
+}
+
+# serve.socket_write: the first response write fails (dead-client path);
+# that connection is closed, the next connection is unaffected, and the
+# drain still balances.
+start_plutod 'serve.socket_write:1' "--workers=2"
+"$PLUTOCTL" --socket="$SOCK" "$SRC_DIR/examples/matmul.c" \
+  > /dev/null 2>&1 || true
+STATUS=0
+"$PLUTOCTL" --socket="$SOCK" "$SRC_DIR/examples/matmul.c" \
+  > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "ci-sanitize: connection after socket_write fault got $STATUS" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+drain_plutod "serve.socket_write"
+
+# sandbox.spawn: the fork fails once -> one structured internal error
+# (client exit 1), full recovery on the next request.
+start_plutod 'sandbox.spawn:1' "--workers=1 --isolate"
+STATUS=0
+"$PLUTOCTL" --socket="$SOCK" "$SRC_DIR/examples/matmul.c" \
+  > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 1 ]; then
+  echo "ci-sanitize: sandbox.spawn fault gave exit $STATUS, want 1" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+STATUS=0
+"$PLUTOCTL" --socket="$SOCK" "$SRC_DIR/examples/matmul.c" \
+  > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "ci-sanitize: compile after spawn fault gave exit $STATUS" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+drain_plutod "sandbox.spawn"
+
+# sandbox.abort: the child crashes compiling the first request (client
+# sees a structured internal error, exit 1), and the repeat of the same
+# input is refused by the circuit breaker without spending another
+# child. Zero dropped jobs throughout.
+start_plutod 'sandbox.abort:1' "--workers=1 --isolate --breaker-ttl-ms=60000"
+for PASS in crash breaker; do
+  STATUS=0
+  "$PLUTOCTL" --socket="$SOCK" "$SRC_DIR/examples/matmul.c" \
+    > /dev/null 2>&1 || STATUS=$?
+  if [ "$STATUS" -ne 1 ]; then
+    echo "ci-sanitize: sandbox.abort $PASS pass gave exit $STATUS" >&2
+    kill "$DAEMON_PID" 2> /dev/null || true
+    exit 1
+  fi
+done
+"$PLUTOCTL" --socket="$SOCK" --metrics > "$METRICS"
+if ! grep -q '"breaker_hits": *[1-9]' "$METRICS"; then
+  echo "ci-sanitize: no breaker_hits after a poisoned repeat" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+drain_plutod "sandbox.abort"
+
+# sandbox.hang: the child sleeps forever; the parent watchdog kills it
+# at the wall deadline and answers resource-exhausted (client exit 4).
+start_plutod 'sandbox.hang:1' "--workers=1 --isolate --compile-timeout-ms=2000"
+STATUS=0
+"$PLUTOCTL" --socket="$SOCK" "$SRC_DIR/examples/matmul.c" \
+  > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 4 ]; then
+  echo "ci-sanitize: sandbox.hang gave exit $STATUS, want 4" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+drain_plutod "sandbox.hang"
+
+# Isolate soak without faults: served output is byte-identical to the
+# local CLI, a kill -9'd sandbox child is replaced without losing a
+# single job, per-request budgets answer exit 4 over the wire, and the
+# metrics balance. One worker, so the killed child's worker is
+# guaranteed to serve the follow-up traffic (and hence to respawn).
+start_plutod '' "--workers=1 --isolate"
+"$CLI" "$SRC_DIR"/examples/*.c > "$LOCAL" 2> /dev/null
+"$PLUTOCTL" --socket="$SOCK" "$SRC_DIR"/examples/*.c > "$SERVED"
+if ! diff "$SERVED" "$LOCAL" > /dev/null; then
+  echo "ci-sanitize: isolate-mode output differs from plutopp" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+# Murder one warm sandbox child out from under the daemon.
+CHILD=$(pgrep -P "$DAEMON_PID" | head -n 1 || true)
+if [ -z "$CHILD" ]; then
+  echo "ci-sanitize: isolate daemon has no sandbox children to kill" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+kill -9 "$CHILD"
+sleep 0.2
+# Post-kill traffic must be cold (a warm key is a parent-cache hit and
+# never reaches a sandbox): a different tile size is a different options
+# fingerprint, hence all-new cache keys for every worker.
+"$CLI" --tile-size=100 "$SRC_DIR"/examples/*.c > "$LOCAL" 2> /dev/null
+"$PLUTOCTL" --socket="$SOCK" --tile-size=100 "$SRC_DIR"/examples/*.c \
+  > "$SERVED"
+if ! diff "$SERVED" "$LOCAL" > /dev/null; then
+  echo "ci-sanitize: isolate output differs after killing a child" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+STATUS=0
+"$PLUTOCTL" --socket="$SOCK" --max-work=200000 \
+  "$SRC_DIR/tests/corpus/bombs/deep_nest.c" > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 4 ]; then
+  echo "ci-sanitize: sandboxed bomb gave exit $STATUS, want 4" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+"$PLUTOCTL" --socket="$SOCK" --metrics > "$METRICS"
+ACCEPTED=$(sed -n 's/.*"requests_accepted":\([0-9]*\).*/\1/p' "$METRICS")
+COMPLETED=$(sed -n 's/.*"requests_completed":\([0-9]*\).*/\1/p' "$METRICS")
+if [ -z "$ACCEPTED" ] || [ "$ACCEPTED" != "$COMPLETED" ]; then
+  echo "ci-sanitize: isolate plutod dropped requests ($ACCEPTED accepted," \
+       "$COMPLETED completed)" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+if ! grep -q '"sandbox_restarts": *[1-9]' "$METRICS"; then
+  echo "ci-sanitize: no sandbox_restarts after kill -9" >&2
+  kill "$DAEMON_PID" 2> /dev/null || true
+  exit 1
+fi
+drain_plutod "isolate"
+rm -f "$SOCK" "$DLOG" "$SERVED" "$LOCAL" "$METRICS"
+echo "ci-sanitize: plutod fault-isolation soak OK"

@@ -7,6 +7,7 @@
 #include "codegen/CodeGen.h"
 
 #include "observe/PassStats.h"
+#include "support/Budget.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -441,6 +442,13 @@ private:
                      const ConstraintSystem &Ctx) {
     if (!Error.empty() || Active.empty())
       return CgNode::block();
+    // One work unit per generated tree node; separation can explode
+    // combinatorially, and the Error short-circuit above unwinds the whole
+    // recursion once the budget trips.
+    if (!budgetCharge()) {
+      fail("compile budget exhausted during code generation");
+      return CgNode::block();
+    }
     if (Level == D)
       return genLeaf(Active, Ctx);
     if (S.Rows[Level].IsScalar)

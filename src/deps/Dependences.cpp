@@ -7,6 +7,7 @@
 #include "deps/Dependences.h"
 
 #include "observe/PassStats.h"
+#include "support/Budget.h"
 
 #include <algorithm>
 #include <functional>
@@ -315,20 +316,35 @@ DependenceGraph pluto::computeDependences(const Program &Prog,
 
   std::vector<std::vector<Dependence>> Results(Tasks.size());
 #ifdef _OPENMP
-  if (Opts.NumThreads != 1 && Tasks.size() > 1) {
+  // singleThreadMode(): forked sandbox workers must not re-enter the
+  // OpenMP runtime they inherited across fork.
+  if (!singleThreadMode() && Opts.NumThreads != 1 && Tasks.size() > 1) {
     // The emptiness ILPs vary wildly in cost per pair: dynamic scheduling
     // load-balances; per-task result slots keep the output deterministic.
+    // The compile budget is thread-local, so capture the calling thread's
+    // and install it in every OpenMP worker (its counters are atomic).
+    Budget *SharedBudget = activeBudget();
 #pragma omp parallel for schedule(dynamic, 1)                                  \
     num_threads(Opts.NumThreads > 0 ? Opts.NumThreads : omp_get_max_threads())
-    for (long I = 0; I < static_cast<long>(Tasks.size()); ++I)
-      Results[I] = analyzePair(Prog, Opts, MaxRank, Tasks[I]);
+    for (long I = 0; I < static_cast<long>(Tasks.size()); ++I) {
+      ScopedBudget Install(SharedBudget);
+      Results[I] = budgetCharge()
+                       ? analyzePair(Prog, Opts, MaxRank, Tasks[I])
+                       : std::vector<Dependence>();
+    }
   } else {
-    for (size_t I = 0; I < Tasks.size(); ++I)
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      if (!budgetCharge())
+        break;
       Results[I] = analyzePair(Prog, Opts, MaxRank, Tasks[I]);
+    }
   }
 #else
-  for (size_t I = 0; I < Tasks.size(); ++I)
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    if (!budgetCharge())
+      break;
     Results[I] = analyzePair(Prog, Opts, MaxRank, Tasks[I]);
+  }
 #endif
 
   for (std::vector<Dependence> &R : Results)

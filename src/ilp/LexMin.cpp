@@ -29,6 +29,7 @@
 #include "ilp/LexMin.h"
 
 #include "observe/PassStats.h"
+#include "support/Budget.h"
 
 #include <atomic>
 #include <cstdio>
@@ -101,7 +102,10 @@ public:
   /// system is (rationally, hence integrally) infeasible.
   bool dualSimplex() {
     for (;;) {
-      if (++Iterations > MaxIterations)
+      // The static pivot cap and the per-compile budget (one work unit per
+      // pivot - the generalized form of the cap) share the Aborted exit;
+      // every caller already handles Aborted conservatively.
+      if (++Iterations > MaxIterations || !budgetCharge())
         return Aborted = true, false;
       int R = firstNegativeConstantRow();
       if (R < 0)

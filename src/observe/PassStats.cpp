@@ -115,6 +115,16 @@ const char *pluto::counterName(Counter C) {
     return "cache_coalesced";
   case Counter::StageReuses:
     return "stage_reuses";
+  case Counter::CacheWriteErrors:
+    return "cache_write_errors";
+  case Counter::JitRetries:
+    return "jit_retries";
+  case Counter::JitStaleDirsSwept:
+    return "jit_stale_dirs_swept";
+  case Counter::BudgetExhausted:
+    return "budget_exhausted";
+  case Counter::FaultsInjected:
+    return "faults_injected";
   case Counter::NumCounters:
     break;
   }

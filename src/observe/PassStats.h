@@ -100,6 +100,12 @@ enum class Counter : unsigned {
   CacheEvictions, ///< entries evicted to stay under the byte budget
   CacheCoalesced, ///< duplicate in-flight compiles joined (single-flight)
   StageReuses,    ///< pipeline stage accessors served from a memoized artifact
+  // robustness - budgets, degraded modes, fault injection.
+  CacheWriteErrors, ///< disk-cache writes that failed (ENOSPC, permission)
+  JitRetries,       ///< transient JIT compiler invocations retried
+  JitStaleDirsSwept, ///< stale TMPDIR work directories removed at startup
+  BudgetExhausted,  ///< compiles stopped by a resource budget
+  FaultsInjected,   ///< failures injected by the FaultInjector
   NumCounters,
 };
 

@@ -13,6 +13,7 @@
 #include "parser/Parser.h"
 
 #include "parser/Lexer.h"
+#include "support/Budget.h"
 
 #include <algorithm>
 #include <memory>
@@ -71,6 +72,11 @@ public:
   std::vector<SynItem> parseTopLevel() {
     std::vector<SynItem> Items;
     while (!cur().is(Token::Kind::End)) {
+      // One work unit per top-level item; when the compile budget trips,
+      // stop consuming input (the stage driver classifies the truncation
+      // as resource-exhausted, so the partial item list is never used).
+      if (!budgetCharge())
+        break;
       if (errorCount(Diags) >= MaxErrors) {
         Diagnostic D;
         D.Line = cur().Line;
@@ -174,6 +180,10 @@ private:
   /// assignment statement.
   Result<SynItem> parseItem() {
     SynItem Item;
+    // Every loop/statement/declaration is one work unit, so deeply nested
+    // inputs charge at every level, not once per top-level item.
+    if (!budgetCharge())
+      return fail("compile budget exhausted while parsing");
     if (cur().isIdent("for")) {
       auto L = parseLoop();
       if (!L)

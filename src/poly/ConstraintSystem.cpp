@@ -8,6 +8,7 @@
 
 #include "ilp/LexMin.h"
 #include "observe/PassStats.h"
+#include "support/Budget.h"
 #include "support/LinearAlgebra.h"
 
 #include <algorithm>
@@ -296,7 +297,14 @@ void ConstraintSystem::eliminateVar(unsigned Var) {
   };
   for (unsigned R : None)
     addDedup(dropColumn(Ineqs.row(R)));
+  // FM generates |Lower| * |Upper| rows; bulk-charge the compile budget one
+  // inner row's worth per outer iteration and bail out on exhaustion (the
+  // partially-built system is garbage, which the stage driver discards).
+  uint64_t FmRowBytes = static_cast<uint64_t>(NumVars + 1) * sizeof(BigInt);
   for (unsigned L : Lower) {
+    if (!budgetCharge(Upper.size()) ||
+        !budgetChargeMemory(Upper.size() * FmRowBytes))
+      break;
     for (unsigned U : Upper) {
       const std::vector<BigInt> &RL = Ineqs.row(L);
       const std::vector<BigInt> &RU = Ineqs.row(U);
@@ -432,7 +440,12 @@ void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
         }
       }
       size_t PassThrough = Next.size();
+      uint64_t FmRowBytes =
+          static_cast<uint64_t>(NumVars + 1) * sizeof(BigInt);
       for (const FmRow &L : Lower) {
+        if (!budgetCharge(Upper.size()) ||
+            !budgetChargeMemory(Upper.size() * FmRowBytes))
+          break;
         for (const FmRow &U : Upper) {
           std::vector<unsigned> Anc = mergeAnc(L.Anc, U.Anc);
           if (Anc.size() > P + 1)
@@ -474,6 +487,13 @@ void ConstraintSystem::projectOut(unsigned Pos, unsigned Count) {
               Generated - (Next.size() - PassThrough));
       }
       Rows = std::move(Next);
+      if (budgetExhausted()) {
+        // Bail with no rows at all (a garbage universe system): every
+        // remaining target column is then trivially zero, so the
+        // column-drop epilogue below stays assert-clean.
+        Rows.clear();
+        break;
+      }
     }
     IntMatrix NewIneqs(NumVars + 1);
     for (FmRow &R : Rows)

@@ -6,18 +6,90 @@
 
 #include "runtime/Jit.h"
 
+#include "observe/PassStats.h"
+#include "support/FaultInjector.h"
+
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <dlfcn.h>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace pluto;
 
 using EntryFn = void (*)(double **, const long long *, const double *);
+
+namespace {
+
+/// Sweeps plutopp-* work directories a crashed earlier process left behind
+/// in the temp base. Only directories old enough that no live process can
+/// still be using them are removed (mkdtemp names are unique, so a live
+/// compile's directory is always younger). Runs once per process, on the
+/// first JIT compile.
+void sweepStaleWorkDirs(const std::string &TmpBase) {
+  namespace fs = std::filesystem;
+  constexpr auto StaleAge = std::chrono::hours(1);
+  std::error_code Ec;
+  uint64_t Swept = 0;
+  for (const auto &Entry : fs::directory_iterator(TmpBase, Ec)) {
+    if (Ec)
+      break;
+    if (!Entry.is_directory(Ec) || Ec)
+      continue;
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("plutopp-", 0) != 0 || Name.size() != strlen("plutopp-") + 6)
+      continue;
+    auto Mtime = fs::last_write_time(Entry.path(), Ec);
+    if (Ec)
+      continue;
+    if (fs::file_time_type::clock::now() - Mtime < StaleAge)
+      continue;
+    fs::remove_all(Entry.path(), Ec);
+    if (!Ec)
+      ++Swept;
+  }
+  if (Swept)
+    count(Counter::JitStaleDirsSwept, Swept);
+}
+
+/// One cc invocation, wrapped so the caller can distinguish "the compiler
+/// ran and rejected the code" (a real diagnostic, never retried) from a
+/// transient failure of the invocation itself (fork/exec failure, the
+/// compiler killed by a signal - an OOM-killed cc, say), which is worth
+/// one retry.
+struct CcResult {
+  int RawStatus = 0;
+  bool Ran = false;      ///< The command executed and exited on its own.
+  bool Transient = false; ///< Invocation-level failure; retry once.
+};
+
+CcResult runCompiler(const std::string &Cmd) {
+  CcResult R;
+  if (FaultInjector::shouldFail("jit.compile")) {
+    R.RawStatus = -1;
+    R.Transient = true;
+    return R;
+  }
+  R.RawStatus = system(Cmd.c_str());
+  if (R.RawStatus == -1 ||
+      (WIFEXITED(R.RawStatus) && WEXITSTATUS(R.RawStatus) == 127))
+    R.Transient = true; // fork/exec/shell failure, not a compile diagnostic.
+  else if (WIFSIGNALED(R.RawStatus))
+    R.Transient = true; // cc killed (OOM killer, stray signal).
+  else
+    R.Ran = true;
+  return R;
+}
+
+} // namespace
 
 CompiledKernel::CompiledKernel(CompiledKernel &&O) noexcept
     : Handle(O.Handle), Fn(O.Fn), Dir(std::move(O.Dir)) {
@@ -71,6 +143,12 @@ Result<CompiledKernel> CompiledKernel::compile(
   const char *TmpBase = std::getenv("TMPDIR");
   if (!TmpBase || !*TmpBase)
     TmpBase = "/tmp";
+
+  // First compile of this process: clean up work directories a crashed
+  // predecessor left in the same temp base.
+  static std::once_flag SweepOnce;
+  std::call_once(SweepOnce, [&] { sweepStaleWorkDirs(TmpBase); });
+
   std::string Template = std::string(TmpBase);
   if (Template.back() == '/')
     Template.pop_back();
@@ -94,8 +172,15 @@ Result<CompiledKernel> CompiledKernel::compile(
   for (const std::string &F : ExtraFlags)
     Cmd += " " + F;
   Cmd += " > '" + LogPath + "' 2>&1";
-  int RC = system(Cmd.c_str());
-  if (RC != 0) {
+  CcResult RC = runCompiler(Cmd);
+  if (RC.Transient) {
+    // The invocation itself failed (not a compiler diagnostic): retry once
+    // after a short backoff before giving up.
+    count(Counter::JitRetries);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    RC = runCompiler(Cmd);
+  }
+  if (RC.RawStatus != 0) {
     // Surface everything needed to debug the failure without rerunning by
     // hand: the compiler's captured stderr/stdout, the exit status and the
     // exact command line.
@@ -105,9 +190,11 @@ Result<CompiledKernel> CompiledKernel::compile(
     while (!Msg.empty() && (Msg.back() == '\n' || Msg.back() == '\r'))
       Msg.pop_back();
     if (Msg.empty())
-      Msg = "(no compiler output captured)";
+      Msg = RC.Ran ? "(no compiler output captured)"
+                   : "(compiler invocation failed before producing output)";
     return Err("compilation of generated code failed (exit status " +
-               std::to_string(RC) + "):\n" + Msg + "\ncommand: " + Cmd);
+               std::to_string(RC.RawStatus) + "):\n" + Msg +
+               "\ncommand: " + Cmd);
   }
   K.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!K.Handle) {

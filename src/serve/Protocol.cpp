@@ -148,6 +148,23 @@ std::string pluto::serve::encodeRequest(const WireRequest &R) {
     appendStr(Out, "source", R.Req.Source);
     Out += ",\"options\":";
     Out += optionsToJson(R.Req.Opts);
+    // Budget members ride at the top level (not in "options"): they never
+    // change the emitted code, so they must stay out of the options
+    // fingerprint. Old servers ignore unknown top-level members.
+    if (R.Req.Budget.WallMs) {
+      Out += ',';
+      appendInt(Out, "timeout_ms", static_cast<long long>(R.Req.Budget.WallMs));
+    }
+    if (R.Req.Budget.MaxMemoryBytes) {
+      Out += ',';
+      appendInt(Out, "max_memory_mb",
+                static_cast<long long>(R.Req.Budget.MaxMemoryBytes >> 20));
+    }
+    if (R.Req.Budget.MaxWorkUnits) {
+      Out += ',';
+      appendInt(Out, "max_work",
+                static_cast<long long>(R.Req.Budget.MaxWorkUnits));
+    }
     break;
   }
   Out += '}';
@@ -205,6 +222,29 @@ Result<WireRequest> pluto::serve::decodeRequest(const std::string &Line) {
       return Err(O.error());
     R.Req.Opts = *O;
   }
+
+  // Optional per-request resource budget (0 / absent = unlimited).
+  auto ReadBudget = [&](const char *Key,
+                        uint64_t &Field) -> Result<bool> {
+    const JsonValue *V = Doc->find(Key);
+    if (!V)
+      return true;
+    if (!V->isInteger() || V->asInt() < 0)
+      return Err(std::string("\"") + Key +
+                 "\" must be a non-negative integer");
+    Field = static_cast<uint64_t>(V->asInt());
+    return true;
+  };
+  uint64_t TimeoutMs = 0, MaxMemoryMb = 0, MaxWork = 0;
+  if (auto B = ReadBudget("timeout_ms", TimeoutMs); !B)
+    return Err(B.error());
+  if (auto B = ReadBudget("max_memory_mb", MaxMemoryMb); !B)
+    return Err(B.error());
+  if (auto B = ReadBudget("max_work", MaxWork); !B)
+    return Err(B.error());
+  R.Req.Budget.WallMs = TimeoutMs;
+  R.Req.Budget.MaxMemoryBytes = MaxMemoryMb << 20;
+  R.Req.Budget.MaxWorkUnits = MaxWork;
   return R;
 }
 

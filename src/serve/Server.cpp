@@ -6,6 +6,7 @@
 
 #include "serve/Server.h"
 
+#include "support/FaultInjector.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -167,11 +168,23 @@ void Server::start() {
     Started = true;
   }
   // The daemon's own PassStats sink: every pipeline a worker runs feeds
-  // it, so the metrics endpoint sees all toolchain counters.
+  // it, so the metrics endpoint sees all toolchain counters. (In isolate
+  // mode the children's toolchain counters stay in the children; the
+  // metrics document reflects parent-side events.)
   setActiveStats(&ToolStats);
+  // One sandbox per worker thread, created (not yet forked - the children
+  // spawn lazily on first use) before the threads so the vector is
+  // immutable once any thread can see it.
+  if (Cfg.Isolate) {
+    SandboxConfig SC;
+    if (Cfg.MaxMemoryMb > 0)
+      SC.MemoryRlimitBytes = static_cast<uint64_t>(Cfg.MaxMemoryMb) << 20;
+    for (unsigned I = 0; I < Cfg.Workers; ++I)
+      Sandboxes.push_back(std::make_unique<SandboxWorker>(SC));
+  }
   LoopThread = std::thread([this] { eventLoop(); });
   for (unsigned I = 0; I < Cfg.Workers; ++I)
-    WorkerThreads.emplace_back([this] { workerLoop(); });
+    WorkerThreads.emplace_back([this, I] { workerLoop(I); });
 }
 
 void Server::wake() {
@@ -225,6 +238,9 @@ Server::Stats Server::stats() const {
     std::lock_guard<std::mutex> L(StatsMu);
     S = Counters;
   }
+  // The sandbox vector is immutable after start(); restarts() is atomic.
+  for (const auto &SB : Sandboxes)
+    S.SandboxRestarts += SB->restarts();
   std::lock_guard<std::mutex> L(SchedMu);
   S.QueueDepth = QueuedJobs;
   S.InFlight = InFlightJobs;
@@ -241,7 +257,7 @@ std::string Server::metricsJson() const {
   ResultCache::Snapshot CS = Cache->snapshot();
   std::string Extra;
   {
-    char Buf[512];
+    char Buf[768];
     std::snprintf(
         Buf, sizeof(Buf),
         "\"server\": {\"workers\": %u, \"cache_shards\": %u, "
@@ -249,7 +265,8 @@ std::string Server::metricsJson() const {
         "\"open_connections\": %llu, \"requests_accepted\": %llu, "
         "\"requests_completed\": %llu, \"rejected_overload\": %llu, "
         "\"bad_requests\": %llu, \"timed_out\": %llu, \"pings\": %llu, "
-        "\"metrics_requests\": %llu, \"queue_depth\": %llu, "
+        "\"metrics_requests\": %llu, \"sandbox_restarts\": %llu, "
+        "\"breaker_hits\": %llu, \"queue_depth\": %llu, "
         "\"in_flight\": %llu},\n  ",
         Cfg.Workers, Cfg.CacheShards,
         static_cast<unsigned long long>(S.ConnectionsAccepted),
@@ -262,6 +279,8 @@ std::string Server::metricsJson() const {
         static_cast<unsigned long long>(S.TimedOut),
         static_cast<unsigned long long>(S.PingsServed),
         static_cast<unsigned long long>(S.MetricsServed),
+        static_cast<unsigned long long>(S.SandboxRestarts),
+        static_cast<unsigned long long>(S.BreakerHits),
         static_cast<unsigned long long>(S.QueueDepth),
         static_cast<unsigned long long>(S.InFlight));
     Extra += Buf;
@@ -411,11 +430,74 @@ void Server::handleLine(const std::shared_ptr<Conn> &C, std::string Line) {
   }
 }
 
-void Server::workerLoop() {
+CompileResponse Server::isolatedCompile(Pipeline &Session, SandboxWorker &SB,
+                                        const CompileRequest &Req) {
+  // The parent keeps keying and caching; only cold compiles cross into
+  // the child. (No single-flight coalescing here: two workers may race on
+  // one cold key and both pay the child round trip - a deliberate trade
+  // for never blocking one sandbox on another's in-flight job.)
+  std::string Key = Session.cacheKey(Req.Source);
+  CompileResponse Resp;
+  Resp.Name = Req.Name;
+  Resp.Key = Key;
+  if (auto V = Cache->lookup(Key)) {
+    Resp.Status = StatusCode::Ok;
+    Resp.EmittedC = std::move(*V);
+    Resp.CacheHit = true;
+    return Resp;
+  }
+
+  // Circuit breaker: a key that recently crashed or killed a worker is
+  // answered from memory instead of being given another child to kill.
+  if (Cfg.BreakerTtlMs > 0) {
+    std::lock_guard<std::mutex> L(BreakerMu);
+    auto It = Breaker.find(Key);
+    if (It != Breaker.end()) {
+      if (Clock::now() < It->second.Expiry) {
+        {
+          std::lock_guard<std::mutex> SL(StatsMu);
+          ++Counters.BreakerHits;
+        }
+        Resp.Status = It->second.Status;
+        Resp.Error = "circuit breaker open (this input recently killed a "
+                     "sandbox worker): " +
+                     It->second.Error;
+        return Resp;
+      }
+      Breaker.erase(It);
+    }
+  }
+
+  bool WorkerDied = false;
+  CompileResponse Child = SB.compile(Req, &WorkerDied);
+  Resp.Status = Child.Status;
+  Resp.EmittedC = std::move(Child.EmittedC);
+  Resp.Diags = std::move(Child.Diags);
+  Resp.Error = std::move(Child.Error);
+  if (WorkerDied && Cfg.BreakerTtlMs > 0) {
+    std::lock_guard<std::mutex> L(BreakerMu);
+    Breaker[Key] = BreakerEntry{
+        Clock::now() + std::chrono::milliseconds(Cfg.BreakerTtlMs),
+        Resp.Status, Resp.Error};
+  }
+  if (Resp.ok())
+    Cache->insert(Key, Resp.EmittedC);
+  return Resp;
+}
+
+void Server::workerLoop(unsigned Idx) {
   // One Pipeline session per distinct options fingerprint this worker has
   // seen: artifact memoization works within a session, the sharded cache
   // dedups across workers.
   std::unordered_map<std::string, std::unique_ptr<Pipeline>> Sessions;
+
+  // Server-wide budget floor, merged tightest with each request's own.
+  BudgetLimits ServerLimits;
+  if (Cfg.CompileTimeoutMs > 0)
+    ServerLimits.WallMs = static_cast<uint64_t>(Cfg.CompileTimeoutMs);
+  if (Cfg.MaxMemoryMb > 0)
+    ServerLimits.MaxMemoryBytes = static_cast<uint64_t>(Cfg.MaxMemoryMb)
+                                  << 20;
 
   for (;;) {
     std::shared_ptr<Conn> C;
@@ -455,6 +537,7 @@ void Server::workerLoop() {
                    std::to_string(Cfg.RequestTimeoutMs) +
                    " ms in the queue";
     } else {
+      J.Req.Budget = BudgetLimits::tightest(J.Req.Budget, ServerLimits);
       std::string Fp = J.Req.Opts.fingerprint();
       auto It = Sessions.find(Fp);
       if (It == Sessions.end()) {
@@ -470,7 +553,9 @@ void Server::workerLoop() {
         }
       }
       if (It != Sessions.end())
-        Resp = It->second->compileRequest(J.Req);
+        Resp = Cfg.Isolate
+                   ? isolatedCompile(*It->second, *Sandboxes[Idx], J.Req)
+                   : It->second->compileRequest(J.Req);
     }
 
     double Ms = std::chrono::duration<double, std::milli>(Clock::now() -
@@ -640,8 +725,15 @@ void Server::eventLoop() {
       if (!Dead) {
         std::lock_guard<std::mutex> L(C->OutMu);
         while (!C->OutBuf.empty()) {
-          ssize_t W = ::send(C->Fd, C->OutBuf.data(), C->OutBuf.size(),
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
+          ssize_t W;
+          if (FaultInjector::shouldFail("serve.socket_write")) {
+            // A vanished peer mid-write: exercised as EPIPE, which takes
+            // the same close-the-connection path a real one would.
+            errno = EPIPE;
+            W = -1;
+          } else
+            W = ::send(C->Fd, C->OutBuf.data(), C->OutBuf.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
           if (W > 0) {
             C->OutBuf.erase(0, static_cast<size_t>(W));
             continue;

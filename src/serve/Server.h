@@ -55,9 +55,11 @@
 
 #include "observe/PassStats.h"
 #include "serve/Protocol.h"
+#include "serve/Sandbox.h"
 #include "serve/ShardedCache.h"
 #include "service/Pipeline.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -66,6 +68,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace pluto {
@@ -92,6 +95,22 @@ struct ServerConfig {
   /// Structured per-request log stream (one JSON line per request);
   /// null disables logging.
   std::FILE *LogStream = nullptr;
+  /// Run every compile in a forked sandbox worker (one child per worker
+  /// thread, serve/Sandbox.h): a crash, OOM or hang costs one child, not
+  /// the daemon, and is answered as a structured error.
+  bool Isolate = false;
+  /// Server-wide per-compile wall-clock ceiling in milliseconds, merged
+  /// tightest with each request's own budget; with Isolate it also arms
+  /// the parent-side watchdog kill. 0 = none.
+  long long CompileTimeoutMs = 0;
+  /// Server-wide per-compile memory budget in MiB, merged into each
+  /// request's budget; with Isolate it also caps the sandbox child's
+  /// address space (RLIMIT_AS). 0 = none.
+  long long MaxMemoryMb = 0;
+  /// Crash circuit breaker (Isolate only): a cache key whose compile
+  /// crashed or killed a sandbox worker is answered with the remembered
+  /// error - without recompiling - for this long. 0 disables.
+  long long BreakerTtlMs = 30000;
 };
 
 /// Latency histogram with fixed millisecond buckets (upper bounds) plus
@@ -134,6 +153,12 @@ public:
     uint64_t TimedOut = 0;
     uint64_t PingsServed = 0;
     uint64_t MetricsServed = 0;
+    /// Sandbox workers replaced after a crash, kill or external death
+    /// (Isolate only; the initial spawns do not count).
+    uint64_t SandboxRestarts = 0;
+    /// Compile requests answered from the crash circuit breaker instead
+    /// of being re-dispatched to a sandbox worker.
+    uint64_t BreakerHits = 0;
     /// Instantaneous gauges.
     uint64_t QueueDepth = 0;
     uint64_t InFlight = 0;
@@ -174,7 +199,11 @@ private:
   explicit Server(ServerConfig C);
 
   void eventLoop();
-  void workerLoop();
+  void workerLoop(unsigned Idx);
+  /// Isolated compile path: parent-side cache lookup and circuit-breaker
+  /// check, then the round trip through worker Idx's sandbox child.
+  CompileResponse isolatedCompile(Pipeline &Session, SandboxWorker &SB,
+                                  const CompileRequest &Req);
   /// Handles one complete request line from C (event-loop thread only).
   void handleLine(const std::shared_ptr<Conn> &C, std::string Line);
   /// Appends Line + '\n' to C's outbound buffer (any thread).
@@ -192,6 +221,21 @@ private:
 
   std::thread LoopThread;
   std::vector<std::thread> WorkerThreads;
+  /// One sandbox child per worker thread (Isolate only). Created in
+  /// start() before any thread launches - so the initial forks happen
+  /// while the process is still single-threaded - and never resized
+  /// afterwards, which makes lock-free reads from stats() safe.
+  std::vector<std::unique_ptr<SandboxWorker>> Sandboxes;
+
+  /// Crash circuit breaker: cache key -> the remembered failure, honored
+  /// until Expiry. Guarded by BreakerMu.
+  struct BreakerEntry {
+    std::chrono::steady_clock::time_point Expiry;
+    StatusCode Status = StatusCode::Internal;
+    std::string Error;
+  };
+  mutable std::mutex BreakerMu;
+  std::unordered_map<std::string, BreakerEntry> Breaker;
 
   // Scheduler state: per-connection job deques linked into a round-robin
   // ring of connections that have pending work. Guarded by SchedMu.

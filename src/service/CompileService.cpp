@@ -24,6 +24,8 @@ const char *pluto::statusCodeName(StatusCode S) {
     return "internal";
   case StatusCode::Overloaded:
     return "overloaded";
+  case StatusCode::ResourceExhausted:
+    return "resource-exhausted";
   }
   return "internal";
 }
@@ -32,7 +34,7 @@ std::optional<StatusCode> pluto::statusCodeFromName(const std::string &Name) {
   for (StatusCode S :
        {StatusCode::Ok, StatusCode::BadRequest, StatusCode::SourceError,
         StatusCode::ScheduleAbort, StatusCode::Internal,
-        StatusCode::Overloaded})
+        StatusCode::Overloaded, StatusCode::ResourceExhausted})
     if (Name == statusCodeName(S))
       return S;
   return std::nullopt;
@@ -50,14 +52,16 @@ int pluto::exitCodeFor(StatusCode S) {
     return 1;
   case StatusCode::Overloaded:
     return 3;
+  case StatusCode::ResourceExhausted:
+    return 4;
   }
   return 1;
 }
 
 int pluto::aggregateExitCodes(int A, int B) {
-  // Precedence 2 > 1 > 3 > 0: bad input beats internal failure beats
-  // overload beats success.
-  static constexpr int Order[] = {2, 1, 3, 0};
+  // Precedence 2 > 1 > 4 > 3 > 0: bad input beats internal failure beats
+  // budget exhaustion beats overload beats success.
+  static constexpr int Order[] = {2, 1, 4, 3, 0};
   for (int C : Order)
     if (A == C || B == C)
       return C;
@@ -99,7 +103,7 @@ std::string pluto::detail::encodeStatusError(StatusCode S,
 std::pair<StatusCode, std::string>
 pluto::detail::decodeStatusError(const std::string &E) {
   if (E.size() >= 2 && E[0] == '\x01' && E[1] >= '0' &&
-      E[1] < '0' + static_cast<char>(6))
+      E[1] < '0' + static_cast<char>(7))
     return {static_cast<StatusCode>(E[1] - '0'), E.substr(2)};
   return {StatusCode::Internal, E};
 }

@@ -23,6 +23,12 @@
 ///   overloaded     the serving side refused admission (bounded queue full,
 ///                  draining, request deadline exceeded) - the 429 class;
 ///                  never produced by in-process compilation
+///   resource-exhausted
+///                  the compile itself exceeded its resource budget (wall
+///                  clock, memory, work units - support/Budget.h) or was
+///                  killed by the sandbox's rlimits/watchdog; the request
+///                  was admitted and well-formed, but this input cannot be
+///                  compiled within the configured bounds
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +37,7 @@
 
 #include "driver/Driver.h"
 #include "parser/Diagnostics.h"
+#include "support/Budget.h"
 
 #include <optional>
 #include <string>
@@ -47,10 +54,11 @@ enum class StatusCode : unsigned {
   ScheduleAbort,
   Internal,
   Overloaded,
+  ResourceExhausted,
 };
 
 /// Stable wire/report name: "ok", "bad-request", "source-error",
-/// "schedule-abort", "internal", "overloaded".
+/// "schedule-abort", "internal", "overloaded", "resource-exhausted".
 const char *statusCodeName(StatusCode S);
 
 /// Inverse of statusCodeName(); nullopt for unknown names.
@@ -58,13 +66,13 @@ std::optional<StatusCode> statusCodeFromName(const std::string &Name);
 
 /// The one status -> process exit code table (plutopp and plutoctl):
 /// ok -> 0; bad-request, source-error -> 2; schedule-abort, internal -> 1;
-/// overloaded -> 3.
+/// overloaded -> 3; resource-exhausted -> 4.
 int exitCodeFor(StatusCode S);
 
 /// Folds two per-unit exit codes into one process exit code with the
-/// documented precedence 2 (bad input) > 1 (internal) > 3 (overloaded)
-/// > 0, matching the historical plutopp behaviour where a source error
-/// anywhere in the batch decides the exit code.
+/// documented precedence 2 (bad input) > 1 (internal) > 4 (over budget)
+/// > 3 (overloaded) > 0, matching the historical plutopp behaviour where
+/// a source error anywhere in the batch decides the exit code.
 int aggregateExitCodes(int A, int B);
 
 /// One unit of compilation work. Name is a diagnostic label only (it is
@@ -74,6 +82,11 @@ struct CompileRequest {
   std::string Name;
   std::string Source;
   PlutoOptions Opts;
+  /// Resource budget for this one compile (default: unlimited). Budgets
+  /// never change what a successful compile emits, so they are carried
+  /// here rather than in PlutoOptions and do not participate in the
+  /// options fingerprint or the cache key.
+  BudgetLimits Budget;
 };
 
 /// Everything one request produces. Exactly one of the three payload

@@ -13,8 +13,36 @@
 #include "observe/Trace.h"
 #include "service/Hash.h"
 #include "service/Version.h"
+#include "support/Budget.h"
+
+#include <new>
+#include <optional>
 
 using namespace pluto;
+
+//===----------------------------------------------------------------------===//
+// Budget enforcement
+//===----------------------------------------------------------------------===//
+
+// Budgeted hot loops bail out fast when the active budget trips, leaving
+// their artifact garbage; the stage accessors call this at every stage
+// boundary to detect the sticky flag (re-checking the wall clock, so even
+// a stage that charges little work cannot overrun a deadline by more than
+// one stage) and turn the garbage into a classified error before the next
+// stage consumes it.
+static bool budgetTripped() {
+  Budget *B = activeBudget();
+  if (!B)
+    return false;
+  B->checkWall();
+  return B->exhausted();
+}
+
+static std::string budgetMessage() {
+  Budget *B = activeBudget();
+  const char *Why = B && B->reason() ? B->reason() : "resource";
+  return std::string("resource budget exhausted (") + Why + " limit)";
+}
 
 //===----------------------------------------------------------------------===//
 // Lowering helpers (pragma placement, loop classification)
@@ -141,6 +169,13 @@ Result<const ParsedProgram *> Pipeline::parsed() {
   ParseResult P = parseSourceDiags(Src);
   SrcDiags = P.Diags;
   count(Counter::ParserErrors, errorCount(SrcDiags));
+  if (budgetTripped()) {
+    // The parser stopped early; neither the partial program nor its
+    // diagnostics describe the whole input, so classify as exhaustion,
+    // not source-error.
+    FailStatus = StatusCode::ResourceExhausted;
+    return Err(budgetMessage());
+  }
   if (!P.Program) {
     FailStatus = StatusCode::SourceError;
     return Err(joinDiagnostics(SrcDiags));
@@ -163,6 +198,11 @@ Result<const DependenceGraph *> Pipeline::dependences() {
   DO.IncludeInputDeps = Opts.IncludeInputDeps;
   ScopedPassTimer Timer(Pass::Deps);
   DepsArt = computeDependences((*P)->Prog, DO);
+  if (budgetTripped()) {
+    DepsArt.reset();
+    FailStatus = StatusCode::ResourceExhausted;
+    return Err(budgetMessage());
+  }
   return static_cast<const DependenceGraph *>(&*DepsArt);
 }
 
@@ -183,6 +223,12 @@ Result<const Schedule *> Pipeline::scheduled() {
   // the memoized DepsArt carries them afterwards, exactly like the
   // DG member of the one-shot PlutoResult always has.
   auto S = computeSchedule(ParsedArt->Prog, *DepsArt, TO);
+  if (budgetTripped()) {
+    // Exhaustion wins over whatever the truncated search produced (a
+    // garbage schedule or a spurious abort).
+    FailStatus = StatusCode::ResourceExhausted;
+    return Err(budgetMessage());
+  }
   if (!S) {
     // Any scheduling-search failure on a parseable program (budget abort,
     // no legal affine schedule) is the schedule-abort class.
@@ -204,6 +250,10 @@ Result<const PlutoResult *> Pipeline::lowered() {
   // Lowering consumes its inputs; feed it copies so the parse/deps/schedule
   // artifacts stay memoized for re-lowering.
   auto L = lowerSchedule(*ParsedArt, *DepsArt, *SchedArt);
+  if (budgetTripped()) {
+    FailStatus = StatusCode::ResourceExhausted;
+    return Err(budgetMessage());
+  }
   if (!L)
     return Err(L.error());
   LoweredArt = std::move(*L);
@@ -302,10 +352,30 @@ CompileResponse Pipeline::compileRequest(const CompileRequest &Req) {
   bool RanCold = false;
   auto Cold = [&]() -> Result<std::string> {
     RanCold = true;
-    auto E = emitted();
-    if (!E)
-      return Err(detail::encodeStatusError(FailStatus, E.error()));
-    return **E;
+    // Install the request's budget for the duration of the cold compile
+    // (cache hits are never charged). A real allocation failure anywhere
+    // in the stages is the memory budget's hard form; both classify as
+    // resource-exhausted.
+    std::optional<Budget> B;
+    std::optional<ScopedBudget> Install;
+    if (!Req.Budget.unlimited()) {
+      B.emplace(Req.Budget);
+      Install.emplace(&*B);
+    }
+    try {
+      auto E = emitted();
+      if (!E) {
+        if (FailStatus == StatusCode::ResourceExhausted)
+          count(Counter::BudgetExhausted);
+        return Err(detail::encodeStatusError(FailStatus, E.error()));
+      }
+      return **E;
+    } catch (const std::bad_alloc &) {
+      FailStatus = StatusCode::ResourceExhausted;
+      count(Counter::BudgetExhausted);
+      return Err(detail::encodeStatusError(StatusCode::ResourceExhausted,
+                                           "out of memory"));
+    }
   };
   Result<std::string> R =
       Cache ? Cache->getOrCompute(Resp.Key, Cold) : Cold();

@@ -8,7 +8,9 @@
 
 #include "observe/PassStats.h"
 #include "service/Version.h"
+#include "support/FaultInjector.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -135,6 +137,7 @@ ResultCache::getOrCompute(const std::string &Key,
 ResultCache::Snapshot ResultCache::snapshot() const {
   std::lock_guard<std::mutex> Lock(Mu);
   Snapshot S = Counts;
+  S.WriteErrors = DiskWriteErrors.load(std::memory_order_relaxed);
   S.Bytes = Bytes;
   S.Entries = Map.size();
   return S;
@@ -142,6 +145,10 @@ ResultCache::Snapshot ResultCache::snapshot() const {
 
 std::optional<std::string> ResultCache::diskRead(const std::string &Key) const {
   if (DiskRoot.empty())
+    return std::nullopt;
+  // An unreadable disk entry is just a miss (the compile runs cold); the
+  // fault site lets tests drive that path deterministically.
+  if (FaultInjector::shouldFail("cache.disk_read"))
     return std::nullopt;
   std::ifstream In(fs::path(DiskRoot) / (Key + ".c"), std::ios::binary);
   if (!In)
@@ -155,7 +162,7 @@ std::optional<std::string> ResultCache::diskRead(const std::string &Key) const {
 
 void ResultCache::diskWrite(const std::string &Key,
                             const std::string &Value) const {
-  if (DiskRoot.empty())
+  if (DiskRoot.empty() || DiskWritesOff.load(std::memory_order_relaxed))
     return;
   // Write-once semantics: an existing entry is already byte-identical (the
   // key is a content address), so skip the IO.
@@ -163,6 +170,10 @@ void ResultCache::diskWrite(const std::string &Key,
   std::error_code Ec;
   if (fs::exists(Final, Ec))
     return;
+  if (FaultInjector::shouldFail("cache.disk_write")) {
+    noteDiskWriteError("injected fault");
+    return;
+  }
   // Unique temp name per thread+object so concurrent writers of the same
   // key race only at the (atomic) rename.
   std::ostringstream TmpName;
@@ -171,13 +182,43 @@ void ResultCache::diskWrite(const std::string &Key,
   fs::path Tmp = fs::path(DiskRoot) / TmpName.str();
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
+    if (!Out) {
+      noteDiskWriteError("open failed");
       return;
+    }
     Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
-    if (!Out.good())
+    if (!Out.good()) {
+      // ENOSPC and friends surface here; drop the torn temp file.
+      noteDiskWriteError("write failed");
+      Out.close();
+      fs::remove(Tmp, Ec);
       return;
+    }
   }
   fs::rename(Tmp, Final, Ec);
-  if (Ec)
+  if (Ec) {
+    noteDiskWriteError("rename failed");
     fs::remove(Tmp, Ec);
+  }
+}
+
+void ResultCache::noteDiskWriteError(const char *What) const {
+  count(Counter::CacheWriteErrors);
+  uint64_t N = DiskWriteErrors.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Degrade loudly but only once per transition: compiles themselves are
+  // unaffected (the in-memory tier keeps serving), so a flaky or full disk
+  // must never turn into per-request noise.
+  if (N == 1)
+    std::fprintf(stderr,
+                 "plutopp: warning: result-cache disk write failed (%s); "
+                 "continuing with the in-memory cache\n",
+                 What);
+  if (N == MaxDiskWriteErrors) {
+    DiskWritesOff.store(true, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "plutopp: warning: %llu result-cache disk writes failed; "
+                 "disabling the disk write path (reads and compiles are "
+                 "unaffected)\n",
+                 static_cast<unsigned long long>(N));
+  }
 }

@@ -30,6 +30,7 @@
 
 #include "support/Result.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -79,11 +80,22 @@ public:
   /// True when a disk tier was requested and its directory is usable.
   virtual bool diskEnabled() const { return !DiskRoot.empty(); }
 
+  /// True once repeated disk write failures (ENOSPC, permissions) made the
+  /// cache stop attempting writes; reads of existing entries still work
+  /// and compiles are unaffected (in-memory tier only).
+  bool diskWritesDisabled() const {
+    return DiskWritesOff.load(std::memory_order_relaxed);
+  }
+
+  /// Consecutive failed disk writes tolerated before the disk write path
+  /// turns itself off for the lifetime of this cache.
+  static constexpr uint64_t MaxDiskWriteErrors = 8;
+
   /// Local event counters (monotonic since construction) plus current
   /// occupancy, for tests and reporting without a PassStats sink.
   struct Snapshot {
     uint64_t Hits = 0, DiskHits = 0, Misses = 0, Evictions = 0,
-             Coalesced = 0;
+             Coalesced = 0, WriteErrors = 0;
     size_t Bytes = 0, Entries = 0;
 
     Snapshot &operator+=(const Snapshot &O) {
@@ -92,6 +104,7 @@ public:
       Misses += O.Misses;
       Evictions += O.Evictions;
       Coalesced += O.Coalesced;
+      WriteErrors += O.WriteErrors;
       Bytes += O.Bytes;
       Entries += O.Entries;
       return *this;
@@ -119,12 +132,19 @@ private:
   size_t Bytes = 0;
   Snapshot Counts;
   std::string DiskRoot; ///< `<DiskDir>/v<N>`, empty when disk is off
+  // diskWrite() is const (it runs outside Mu from const-ish paths), so the
+  // degraded-mode state is atomic and mutable.
+  mutable std::atomic<uint64_t> DiskWriteErrors{0};
+  mutable std::atomic<bool> DiskWritesOff{false};
 
   /// Memory-tier insert; assumes Mu held. Returns evictions performed.
   void insertLocked(const std::string &Key, std::string Value);
   std::optional<std::string> lookupLocked(const std::string &Key);
   std::optional<std::string> diskRead(const std::string &Key) const;
   void diskWrite(const std::string &Key, const std::string &Value) const;
+  /// Counts one failed disk write (What names the failing step) and turns
+  /// the write path off after MaxDiskWriteErrors of them.
+  void noteDiskWriteError(const char *What) const;
 };
 
 } // namespace pluto

@@ -14,7 +14,10 @@
 
 #include "support/BigInt.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
+#include <new>
 
 using namespace pluto;
 
@@ -43,6 +46,12 @@ BigInt BigInt::makeLarge(int S, std::vector<uint32_t> M) {
                       : static_cast<int64_t>(U);
     return BigInt(V);
   }
+
+  // The one place every limb materialization funnels through: the fault
+  // site stands in for a real allocation failure under arbitrary-precision
+  // blowup, which surfaces exactly like this bad_alloc would.
+  if (FaultInjector::shouldFail("bigint.alloc"))
+    throw std::bad_alloc();
 
   BigInt R;
   R.IsSmall = false;

@@ -1,0 +1,54 @@
+//===- support/Budget.cpp - Cooperative resource budgets ------------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+using namespace pluto;
+
+thread_local Budget *pluto::detail::ActiveBudget = nullptr;
+
+namespace {
+std::atomic<bool> GSingleThread{false};
+} // namespace
+
+BudgetLimits BudgetLimits::tightest(const BudgetLimits &A,
+                                    const BudgetLimits &B) {
+  auto Min = [](uint64_t X, uint64_t Y) {
+    if (X == 0)
+      return Y;
+    if (Y == 0)
+      return X;
+    return X < Y ? X : Y;
+  };
+  BudgetLimits L;
+  L.WallMs = Min(A.WallMs, B.WallMs);
+  L.MaxMemoryBytes = Min(A.MaxMemoryBytes, B.MaxMemoryBytes);
+  L.MaxWorkUnits = Min(A.MaxWorkUnits, B.MaxWorkUnits);
+  return L;
+}
+
+bool Budget::checkWall() {
+  if (Exhausted.load(std::memory_order_relaxed))
+    return false;
+  if (!Limits.WallMs)
+    return true;
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  if (static_cast<uint64_t>(Elapsed) > Limits.WallMs) {
+    trip("wall-clock");
+    return false;
+  }
+  return true;
+}
+
+void pluto::setSingleThreadMode(bool On) {
+  GSingleThread.store(On, std::memory_order_relaxed);
+}
+
+bool pluto::singleThreadMode() {
+  return GSingleThread.load(std::memory_order_relaxed);
+}

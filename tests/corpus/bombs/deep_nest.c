@@ -1,0 +1,29 @@
+/* Resource bomb: a 10-deep loop nest whose single statement couples every
+ * iterator. Dependence analysis and scheduling work on ~20-variable
+ * constraint systems, so Fourier-Motzkin projection generates row counts
+ * that explode combinatorially. Compiling this without a budget takes
+ * unreasonable time/memory; the regression tests pin that a small
+ * --max-work budget turns it into a fast, clean resource-exhausted
+ * failure (exit code 4). Lives under bombs/ (not corpus/ proper) so the
+ * sanitizer's bad-input sweep, which expects exit 2, skips it. */
+for (i0 = 0; i0 < N; i0++) {
+  for (i1 = 0; i1 < N; i1++) {
+    for (i2 = 0; i2 < N; i2++) {
+      for (i3 = 0; i3 < N; i3++) {
+        for (i4 = 0; i4 < N; i4++) {
+          for (i5 = 0; i5 < N; i5++) {
+            for (i6 = 0; i6 < N; i6++) {
+              for (i7 = 0; i7 < N; i7++) {
+                for (i8 = 0; i8 < N; i8++) {
+                  for (i9 = 0; i9 < N; i9++) {
+                    a[i0 + i9][i1 + i8] = a[i2 + i7][i3 + i6] + a[i4 + i5][i0 + i1];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,39 @@
+/* Resource bomb: 24 statements in one 3-deep nest, every one reading its
+ * predecessors' arrays with shifted accesses. The dependence census is
+ * quadratic in statements (~576 pairs, each a parametric ILP) and the
+ * scheduler's Farkas systems couple all 24 statements, so lexmin pivot
+ * counts blow up. Calibration: compiles unbudgeted in a few seconds but
+ * burns well over 20000 work units (and over 1 MiB of tracked transient
+ * memory) doing it - the regressions pin that --max-work=20000 and a
+ * 1 MiB memory budget both stop it with resource-exhausted (exit 4)
+ * deterministically, long before any wall-clock limit could. */
+for (t = 0; t < T; t++) {
+  for (i = 1; i < N - 1; i++) {
+    for (j = 1; j < N - 1; j++) {
+      a0[i][j] = a0[i - 1][j] + a0[i][j - 1];
+      a1[i][j] = a0[i][j] + a1[i - 1][j + 1];
+      a2[i][j] = a1[i][j] + a2[i][j - 1];
+      a3[i][j] = a2[i - 1][j - 1] + a3[i][j - 1];
+      a4[i][j] = a3[i][j] + a4[i - 1][j];
+      a5[i][j] = a4[i][j - 1] + a5[i - 1][j];
+      a6[i][j] = a5[i][j] + a6[i][j - 1];
+      a7[i][j] = a6[i - 1][j + 1] + a7[i][j - 1];
+      a8[i][j] = a7[i][j] + a8[i - 1][j];
+      a9[i][j] = a8[i][j - 1] + a9[i - 1][j];
+      a10[i][j] = a9[i][j] + a10[i][j - 1];
+      a11[i][j] = a10[i - 1][j] + a11[i][j - 1];
+      a12[i][j] = a11[i][j] + a12[i - 1][j];
+      a13[i][j] = a12[i][j - 1] + a13[i - 1][j + 1];
+      a14[i][j] = a13[i][j] + a14[i][j - 1];
+      a15[i][j] = a14[i - 1][j] + a15[i][j - 1];
+      a16[i][j] = a15[i][j] + a16[i - 1][j];
+      a17[i][j] = a16[i][j - 1] + a17[i - 1][j];
+      a18[i][j] = a17[i][j] + a18[i][j - 1];
+      a19[i][j] = a18[i - 1][j + 1] + a19[i][j - 1];
+      a20[i][j] = a19[i][j] + a20[i - 1][j];
+      a21[i][j] = a20[i][j - 1] + a21[i - 1][j];
+      a22[i][j] = a21[i][j] + a22[i][j - 1];
+      a23[i][j] = a22[i - 1][j] + a23[i][j - 1] + a0[i + 1][j + 1];
+    }
+  }
+}

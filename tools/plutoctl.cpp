@@ -19,6 +19,7 @@
 #include "service/CompileService.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +30,7 @@
 #include <string>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -44,12 +46,26 @@ const char *Usage =
     "units (stdin when none are given) through the daemon and writes the\n"
     "generated C to stdout in input order, separated by banner comments,\n"
     "or under --out-dir. Exit codes match plutopp: 0 ok, 2 bad input or\n"
-    "bad request, 1 internal/schedule failure, 3 overloaded.\n"
+    "bad request, 1 internal/schedule failure, 3 overloaded, 4 resource\n"
+    "budget exhausted.\n"
     "\n"
     "operations:\n"
     "  (default)                  compile the inputs\n"
     "  --ping                     health-check the daemon\n"
     "  --metrics                  print the daemon's metrics document\n"
+    "\n"
+    "connection options:\n"
+    "  --timeout=MS               per-wait deadline talking to the daemon\n"
+    "                             (30000; 0 = wait forever)\n"
+    "  --retries=N                connection attempts before giving up\n"
+    "                             (5, exponential backoff from 50 ms);\n"
+    "                             rides out a daemon that is still\n"
+    "                             starting or briefly restarting\n"
+    "\n"
+    "per-request resource budget (forwarded on the wire):\n"
+    "  --compile-timeout-ms=N     wall-clock budget per compile\n"
+    "  --max-memory-mb=N          memory budget per compile in MiB\n"
+    "  --max-work=N               deterministic work-unit budget\n"
     "\n"
     "transformation options (plutopp names, forwarded on the wire):\n"
     "  --tile/--no-tile, --tile-size=N, --l2tile/--no-l2tile,\n"
@@ -65,16 +81,20 @@ struct Client {
   int Fd = -1;
   std::string InBuf;
   std::string OutBuf;
+  /// Per-poll deadline talking to the daemon; <= 0 waits forever.
+  int TimeoutMs = 30000;
 
   ~Client() {
     if (Fd >= 0)
       close(Fd);
   }
 
-  bool connectTo(const std::string &Path, std::string &Error) {
+  /// One connection attempt.
+  bool connectOnce(const std::string &Path, std::string &Error) {
     sockaddr_un Addr;
     if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
       Error = "bad socket path";
+      errno = EINVAL; // not retryable
       return false;
     }
     Fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -86,10 +106,34 @@ struct Client {
     Addr.sun_family = AF_UNIX;
     std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
     if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-      Error = "connect(" + Path + "): " + std::strerror(errno);
+      int E = errno;
+      Error = "connect(" + Path + "): " + std::strerror(E);
+      close(Fd);
+      Fd = -1;
+      errno = E; // the retry loop classifies on it
       return false;
     }
     return true;
+  }
+
+  /// Connects with up to Attempts tries, backing off exponentially from
+  /// 50 ms, but only on the errors a daemon that is still starting (or
+  /// briefly restarting) produces: no socket file yet, or nobody
+  /// listening behind a stale one. Hard errors fail immediately.
+  bool connectTo(const std::string &Path, unsigned Attempts,
+                 std::string &Error) {
+    auto Delay = std::chrono::milliseconds(50);
+    for (unsigned Try = 1;; ++Try) {
+      int SavedErrno = 0;
+      if (connectOnce(Path, Error))
+        return true;
+      SavedErrno = errno;
+      if (Try >= Attempts ||
+          (SavedErrno != ECONNREFUSED && SavedErrno != ENOENT))
+        return false;
+      std::this_thread::sleep_for(Delay);
+      Delay *= 2;
+    }
   }
 
   void queue(const std::string &Line) {
@@ -106,8 +150,16 @@ struct Client {
       pollfd P{Fd, POLLIN, 0};
       if (!OutBuf.empty())
         P.events |= POLLOUT;
-      if (poll(&P, 1, 30000) <= 0) {
-        Error = "timed out waiting for the daemon";
+      int N = poll(&P, 1, TimeoutMs > 0 ? TimeoutMs : -1);
+      if (N == 0) {
+        Error = "timed out waiting for the daemon (after " +
+                std::to_string(TimeoutMs) + " ms; see --timeout)";
+        return false;
+      }
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Error = std::string("poll(): ") + std::strerror(errno);
         return false;
       }
       if (!OutBuf.empty() && (P.revents & POLLOUT)) {
@@ -167,6 +219,9 @@ int main(int Argc, char **Argv) {
   std::string OutDir;
   bool DoPing = false, DoMetrics = false;
   PlutoOptions Opts;
+  BudgetLimits Budget;
+  int TimeoutMs = 30000;
+  unsigned Retries = 5;
   std::vector<std::string> Inputs;
 
   for (int I = 1; I < Argc; ++I) {
@@ -185,6 +240,16 @@ int main(int Argc, char **Argv) {
       DoMetrics = true;
     else if (A.rfind("--out-dir=", 0) == 0)
       OutDir = A.substr(10);
+    else if (A.rfind("--timeout=", 0) == 0)
+      TimeoutMs = static_cast<int>(Num(10));
+    else if (A.rfind("--retries=", 0) == 0)
+      Retries = static_cast<unsigned>(Num(10));
+    else if (A.rfind("--compile-timeout-ms=", 0) == 0)
+      Budget.WallMs = static_cast<uint64_t>(Num(21));
+    else if (A.rfind("--max-memory-mb=", 0) == 0)
+      Budget.MaxMemoryBytes = static_cast<uint64_t>(Num(16)) << 20;
+    else if (A.rfind("--max-work=", 0) == 0)
+      Budget.MaxWorkUnits = static_cast<uint64_t>(Num(11));
     else if (A == "--tile")
       Opts.Tile = true;
     else if (A == "--no-tile")
@@ -229,8 +294,9 @@ int main(int Argc, char **Argv) {
   }
 
   Client C;
+  C.TimeoutMs = TimeoutMs;
   std::string Error;
-  if (!C.connectTo(Socket, Error)) {
+  if (!C.connectTo(Socket, Retries == 0 ? 1 : Retries, Error)) {
     std::fprintf(stderr, "plutoctl: %s\n", Error.c_str());
     return 1;
   }
@@ -289,6 +355,7 @@ int main(int Argc, char **Argv) {
     R.Req.Name = Units[I].Name;
     R.Req.Source = Units[I].Source;
     R.Req.Opts = Opts;
+    R.Req.Budget = Budget;
     C.queue(encodeRequest(R));
   }
 

@@ -15,6 +15,7 @@
 
 #include "serve/Server.h"
 #include "service/Version.h"
+#include "support/FaultInjector.h"
 
 #include <csignal>
 #include <cstdio>
@@ -49,6 +50,18 @@ const char *Usage =
     "  --max-request-bytes=N      per-request-line byte cap (8388608)\n"
     "  --timeout-ms=N             queue-wait deadline per request\n"
     "                             (0 = unlimited)\n"
+    "  --isolate                  run each compile in a forked sandbox\n"
+    "                             worker; crashes/OOMs/hangs cost one\n"
+    "                             child and answer as structured errors\n"
+    "  --compile-timeout-ms=N     per-compile wall-clock budget, merged\n"
+    "                             with the request's own; with --isolate\n"
+    "                             also arms the watchdog kill (0 = none)\n"
+    "  --max-memory-mb=N          per-compile memory budget in MiB; with\n"
+    "                             --isolate also the sandbox address-\n"
+    "                             space rlimit (0 = none)\n"
+    "  --breaker-ttl-ms=N         how long a cache key that killed a\n"
+    "                             sandbox worker is refused without\n"
+    "                             recompiling (30000; 0 disables)\n"
     "  --quiet                    no per-request log lines on stderr\n"
     "  --version                  print toolchain version and exit\n"
     "  --help                     this text\n";
@@ -101,6 +114,14 @@ int main(int Argc, char **Argv) {
       Cfg.MaxRequestBytes = static_cast<size_t>(numArg(A, 20, Ok));
     else if (A.rfind("--timeout-ms=", 0) == 0)
       Cfg.RequestTimeoutMs = numArg(A, 13, Ok);
+    else if (A == "--isolate")
+      Cfg.Isolate = true;
+    else if (A.rfind("--compile-timeout-ms=", 0) == 0)
+      Cfg.CompileTimeoutMs = numArg(A, 21, Ok);
+    else if (A.rfind("--max-memory-mb=", 0) == 0)
+      Cfg.MaxMemoryMb = numArg(A, 16, Ok);
+    else if (A.rfind("--breaker-ttl-ms=", 0) == 0)
+      Cfg.BreakerTtlMs = numArg(A, 17, Ok);
     else if (A == "--quiet")
       Cfg.LogStream = nullptr;
     else {
@@ -123,6 +144,9 @@ int main(int Argc, char **Argv) {
     std::perror("plutod: pipe");
     return 1;
   }
+
+  // Deterministic fault injection for the CI soak ($PLUTOPP_FAULT).
+  FaultInjector::armFromEnv();
 
   auto S = Server::create(Cfg);
   if (!S) {

@@ -13,8 +13,9 @@
 // Exit codes come from the shared StatusCode table (service/
 // CompileService.h): 0 success, 1 internal/schedule failure (also plain
 // I/O problems), 2 invalid options or source errors, 3 overloaded (only
-// reachable through a daemon; never in-process). Multi-file batches fold
-// per-unit codes with the documented precedence 2 > 1 > 3 > 0.
+// reachable through a daemon; never in-process), 4 resource budget
+// exhausted (--timeout-ms/--max-memory-mb/--max-work). Multi-file batches
+// fold per-unit codes with the documented precedence 2 > 1 > 4 > 3 > 0.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +24,7 @@
 #include "parser/Parser.h"
 #include "service/Batch.h"
 #include "service/Pipeline.h"
+#include "support/FaultInjector.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -69,6 +71,15 @@ const char *UsageText =
     "  --cache-bytes=N                 in-memory cache budget in bytes\n"
     "                                  (67108864)\n"
     "\n"
+    "resource budget (per unit; exceeding any limit exits 4):\n"
+    "  --timeout-ms=N                  wall-clock budget per compile\n"
+    "                                  (0 = unlimited)\n"
+    "  --max-memory-mb=N               budget on tracked transient\n"
+    "                                  allocations in MiB (0 = unlimited)\n"
+    "  --max-work=N                    deterministic work-unit budget -\n"
+    "                                  parsed statements, FM rows, simplex\n"
+    "                                  pivots... (0 = unlimited)\n"
+    "\n"
     "output options:\n"
     "  --out=FILE                      write the generated C to FILE\n"
     "                                  (single input only; default stdout)\n"
@@ -87,7 +98,8 @@ const char *UsageText =
     "  -h, --help                      this text\n"
     "\n"
     "exit codes: 0 ok, 1 I/O or internal compile error, 2 invalid options\n"
-    "or source errors (every problem is reported with its line:col span)\n";
+    "or source errors (every problem is reported with its line:col span),\n"
+    "4 resource budget exhausted\n";
 
 /// Parses the =N suffix of A (after the Len-byte prefix); exits on garbage.
 long long numArg(const std::string &A, size_t Len) {
@@ -111,6 +123,7 @@ std::string stemOf(const std::string &Path) {
 
 int main(int argc, char **argv) {
   PlutoOptions Opts;
+  BudgetLimits Budget;
   std::vector<std::string> InputPaths;
   std::string OutPath, OutDir, CacheDir;
   size_t CacheBytes = 64ull << 20;
@@ -162,6 +175,15 @@ int main(int argc, char **argv) {
       }
       Jobs = static_cast<unsigned>(V);
       JobsGiven = true;
+    } else if (A.rfind("--timeout-ms=", 0) == 0) {
+      long long V = numArg(A, 13);
+      Budget.WallMs = V < 0 ? 0u : static_cast<uint64_t>(V);
+    } else if (A.rfind("--max-memory-mb=", 0) == 0) {
+      long long V = numArg(A, 16);
+      Budget.MaxMemoryBytes = V < 0 ? 0u : static_cast<uint64_t>(V) << 20;
+    } else if (A.rfind("--max-work=", 0) == 0) {
+      long long V = numArg(A, 11);
+      Budget.MaxWorkUnits = V < 0 ? 0u : static_cast<uint64_t>(V);
     } else if (A.rfind("--cache-dir=", 0) == 0)
       CacheDir = A.substr(12);
     else if (A.rfind("--cache-bytes=", 0) == 0) {
@@ -264,10 +286,14 @@ int main(int argc, char **argv) {
   if (WantTrace)
     setActiveTrace(&Tr);
 
+  // Deterministic fault injection for tests and the CI soak
+  // ($PLUTOPP_FAULT, e.g. "cache.disk_write:*").
+  FaultInjector::armFromEnv();
+
   std::vector<CompileRequest> Reqs;
   Reqs.reserve(Batch.size());
   for (const CompileJob &J : Batch)
-    Reqs.push_back({J.Name, J.Source, Opts});
+    Reqs.push_back({J.Name, J.Source, Opts, Budget});
   std::vector<CompileResponse> Resps = compileRequests(Reqs, BO);
   setActiveStats(nullptr);
   setActiveTrace(nullptr);
@@ -278,7 +304,7 @@ int main(int argc, char **argv) {
   // frontend's structured diagnostics, so every source problem is shown
   // with its line:col span and a caret snippet; the process exit code
   // folds the per-unit StatusCode exit codes through the one shared
-  // table (2 bad input > 1 internal > 3 overloaded > 0).
+  // table (2 bad input > 1 internal > 4 over budget > 3 overloaded > 0).
   int Exit = 0;
   bool WroteStdout = false;
   unsigned FailedUnits = 0;
