@@ -1,0 +1,94 @@
+//===- bench/bench_tune.cpp - Experiment E12: autotuner search ------------===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+// The paper picks tile sizes "based on empirical evidence" (Section 6.3);
+// this experiment runs that loop mechanically with tune::explore on
+// matmul and reports what the search costs and what it buys: the default
+// configuration's time, the winner's time, and the end-to-end search wall
+// clock split into compile-all and measure-front. The static-mode pass
+// (measure=0) isolates the enumerate+compile+rank overhead with no kernel
+// execution at all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Kernels.h"
+#include "tune/Tuner.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace pluto;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  tune::SearchSpace Space;
+  Space.TileSizes = {0, 16, 32, 64};
+  Space.L2TileSizes = {0, 8};
+  Space.WavefrontDegrees = {0, 1, 2};
+
+  tune::TuneOptions TO;
+  TO.Base.IncludeInputDeps = false;
+  TO.ProblemSize = 256;
+  TO.Measure.Warmup = 1;
+  TO.Measure.Reps = 3;
+  TO.Measure.Threads = 2;
+  TO.MaxMeasure = 6;
+
+  std::printf("E12: autotuner search on matmul (n=%u, reps=%u, threads=%u)\n",
+              TO.ProblemSize, TO.Measure.Reps, TO.Measure.Threads);
+
+  // Static pass: enumerate + dedup + compile + rank, no execution.
+  auto T0 = std::chrono::steady_clock::now();
+  tune::TuneOptions StaticTO = TO;
+  StaticTO.RunMeasurements = false;
+  tune::TuneResult SR = tune::explore(kernels::MatMul, Space, StaticTO);
+  double StaticS = secondsSince(T0);
+  if (SR.Status != StatusCode::Ok) {
+    std::fprintf(stderr, "static search failed: %s\n", SR.Error.c_str());
+    return 1;
+  }
+  std::printf("  static search: %llu enumerated, %llu distinct, %.3f s\n",
+              static_cast<unsigned long long>(SR.Enumerated),
+              static_cast<unsigned long long>(SR.Distinct), StaticS);
+
+  if (!CompiledKernel::compilerAvailable()) {
+    std::printf("no C compiler available; skipping measured search\n");
+    return 0;
+  }
+
+  // Measured pass: the full loop, pruned front only.
+  T0 = std::chrono::steady_clock::now();
+  tune::TuneResult MR = tune::explore(kernels::MatMul, Space, TO);
+  double MeasuredS = secondsSince(T0);
+  if (MR.Status != StatusCode::Ok) {
+    std::fprintf(stderr, "measured search failed: %s\n", MR.Error.c_str());
+    return 1;
+  }
+  const tune::TuneVariant *W = MR.winner();
+  const tune::TuneVariant &Base = MR.Variants[0];
+  std::printf("  measured search: %llu measured of %llu distinct"
+              " (%llu errors), %.3f s total\n",
+              static_cast<unsigned long long>(MR.Measured),
+              static_cast<unsigned long long>(MR.Distinct),
+              static_cast<unsigned long long>(MR.Errors), MeasuredS);
+  if (Base.Measured)
+    std::printf("  base config:  %8.3f ms\n", Base.Time.MedianSeconds * 1e3);
+  if (W && W->Measured) {
+    std::printf("  winner (v%u): %8.3f ms", W->Id,
+                W->Time.MedianSeconds * 1e3);
+    if (Base.Measured && W->Time.MedianSeconds > 0)
+      std::printf("  (%.2fx vs base)",
+                  Base.Time.MedianSeconds / W->Time.MedianSeconds);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -476,3 +476,55 @@ fi
 drain_plutod "isolate"
 rm -f "$SOCK" "$DLOG" "$SERVED" "$LOCAL" "$METRICS"
 echo "ci-sanitize: plutod fault-isolation soak OK"
+
+# Autotuner smoke-run: a tiny measured search on matmul and seidel2d under
+# the sanitizers. The trace must carry the versioned schema with fewer
+# variants measured than enumerated, and the winner's emitted C must be a
+# valid OpenMP translation unit. n/reps are small: this checks plumbing,
+# not performance.
+TUNE_SPEC='tile=0,16;l2=0;wave=0,1;n=16;reps=2;warmup=1;max-measure=3'
+TUNE_TRACE="$BUILD_DIR/ci-tune-trace.json"
+TUNE_OUT="$BUILD_DIR/ci-tune-winner.c"
+for KERNEL in matmul.c seidel2d.c; do
+  ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    "$CLI" --tune="$TUNE_SPEC" --tune-trace="$TUNE_TRACE" \
+      "$SRC_DIR/examples/$KERNEL" > "$TUNE_OUT" 2> /dev/null
+  if ! grep -q '"tune_schema": 1' "$TUNE_TRACE"; then
+    echo "ci-sanitize: tune trace for $KERNEL lacks the schema marker" >&2
+    exit 1
+  fi
+  ENUMERATED=$(sed -n 's/.*"enumerated": \([0-9]*\).*/\1/p' "$TUNE_TRACE")
+  MEASURED=$(sed -n 's/.*"measured": \([0-9]*\).*/\1/p' "$TUNE_TRACE" | head -n 1)
+  if [ -z "$ENUMERATED" ] || [ -z "$MEASURED" ] ||
+     [ "$MEASURED" -ge "$ENUMERATED" ]; then
+    echo "ci-sanitize: tune on $KERNEL measured $MEASURED of $ENUMERATED" \
+         "- pruning did not happen" >&2
+    exit 1
+  fi
+  if ! "${CC:-cc}" -fsyntax-only -fopenmp "$TUNE_OUT"; then
+    echo "ci-sanitize: tune winner for $KERNEL does not compile" >&2
+    exit 1
+  fi
+done
+
+# Degraded mode: every JIT compile fails. The tuner must skip the broken
+# variants (they land in "errors", never crash the search) and still
+# return a compiling winner from the statically-ranked survivors.
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+PLUTOPP_FAULT='jit.compile:*' \
+  "$CLI" --tune="$TUNE_SPEC" --tune-trace="$TUNE_TRACE" \
+    "$SRC_DIR/examples/matmul.c" > "$TUNE_OUT" 2> /dev/null
+if ! grep -q '"tune_schema": 1' "$TUNE_TRACE" ||
+   ! grep -q '"errors": [1-9]' "$TUNE_TRACE"; then
+  echo "ci-sanitize: jit.compile faults did not degrade to skipped" \
+       "variants" >&2
+  exit 1
+fi
+if ! "${CC:-cc}" -fsyntax-only -fopenmp "$TUNE_OUT"; then
+  echo "ci-sanitize: degraded tune winner does not compile" >&2
+  exit 1
+fi
+rm -f "$TUNE_TRACE" "$TUNE_OUT"
+echo "ci-sanitize: autotuner smoke-run OK"

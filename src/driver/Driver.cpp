@@ -44,22 +44,47 @@ bool PlutoOptions::operator==(const PlutoOptions &O) const {
          CG.ParallelPragmaRows == O.CG.ParallelPragmaRows;
 }
 
+PlutoOptions PlutoOptions::normalized() const {
+  // Reset every field the pipeline cannot observe under the current
+  // toggles to its default, so "tiled off but tile size 64" and "tiled
+  // off, tile size 16" fingerprint (and cache) identically. The defaults
+  // come from a fresh PlutoOptions so this never drifts from the header.
+  const PlutoOptions Defaults;
+  PlutoOptions N = *this;
+  if (!N.Tile) {
+    // Tiling off: no supernodes are built, so the sizes and the second
+    // level are dead knobs.
+    N.TileSize = Defaults.TileSize;
+    N.SecondLevelTile = Defaults.SecondLevelTile;
+    N.L2TileSize = Defaults.L2TileSize;
+  }
+  if (!N.SecondLevelTile)
+    N.L2TileSize = Defaults.L2TileSize;
+  // The wavefront only fires on tiled bands with parallelism extraction on
+  // (lowerSchedule applies it under Parallelize && Tile).
+  if (!N.Parallelize || !N.Tile)
+    N.WavefrontDegrees = Defaults.WavefrontDegrees;
+  return N;
+}
+
 std::string PlutoOptions::fingerprint() const {
   // Canonical key=value encoding of every output-affecting field, in a
-  // fixed order. The encoding itself is the fingerprint (it is short and
-  // diffable in logs); the service layer hashes it together with the
-  // canonical source into the cache key.
+  // fixed order, computed on the normalized form so semantically identical
+  // option sets alias to one fingerprint. The encoding itself is the
+  // fingerprint (it is short and diffable in logs); the service layer
+  // hashes it together with the canonical source into the cache key.
+  const PlutoOptions N = normalized();
   std::ostringstream OS;
-  OS << "tile=" << Tile << ";tile_size=" << TileSize
-     << ";l2tile=" << SecondLevelTile << ";l2tile_size=" << L2TileSize
-     << ";parallel=" << Parallelize
-     << ";wavefront_degrees=" << WavefrontDegrees
-     << ";vectorize=" << Vectorize << ";input_deps=" << IncludeInputDeps
-     << ";param_min=" << ParamMin << ";fast_schedule=" << FastSchedule
-     << ";cg_max_pieces=" << CG.MaxPieces
-     << ";cg_separation=" << CG.EnableSeparation << ";cg_pragma_rows=";
+  OS << "tile=" << N.Tile << ";tile_size=" << N.TileSize
+     << ";l2tile=" << N.SecondLevelTile << ";l2tile_size=" << N.L2TileSize
+     << ";parallel=" << N.Parallelize
+     << ";wavefront_degrees=" << N.WavefrontDegrees
+     << ";vectorize=" << N.Vectorize << ";input_deps=" << N.IncludeInputDeps
+     << ";param_min=" << N.ParamMin << ";fast_schedule=" << N.FastSchedule
+     << ";cg_max_pieces=" << N.CG.MaxPieces
+     << ";cg_separation=" << N.CG.EnableSeparation << ";cg_pragma_rows=";
   bool First = true;
-  for (unsigned Row : CG.ParallelPragmaRows) {
+  for (unsigned Row : N.CG.ParallelPragmaRows) {
     OS << (First ? "" : ",") << Row;
     First = false;
   }

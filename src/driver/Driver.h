@@ -74,10 +74,21 @@ struct PlutoOptions {
   bool operator==(const PlutoOptions &O) const;
   bool operator!=(const PlutoOptions &O) const { return !(*this == O); }
 
+  /// Canonical form for fingerprinting: fields the pipeline ignores under
+  /// the current toggles are reset to their defaults, so semantically
+  /// identical option sets collapse onto one fingerprint (and one cache
+  /// key). Concretely: TileSize and the whole L2 level when Tile is off,
+  /// L2TileSize when SecondLevelTile is off, and WavefrontDegrees when the
+  /// wavefront can never fire (it requires Parallelize and Tile). Equality
+  /// stays field-wise; only fingerprint() looks through this.
+  PlutoOptions normalized() const;
+
   /// Stable, human-readable canonical encoding of every field that can
-  /// affect pipeline output. Equal options produce equal fingerprints and
-  /// any field change produces a different one; the service layer hashes
-  /// it into the content-addressed cache key (DESIGN.md section 9).
+  /// affect pipeline output, computed on normalized(): two option sets
+  /// that cannot produce different output share one fingerprint, and any
+  /// output-affecting field change produces a different one; the service
+  /// layer hashes it into the content-addressed cache key (DESIGN.md
+  /// section 9).
   std::string fingerprint() const;
 };
 

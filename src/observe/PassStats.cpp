@@ -125,6 +125,14 @@ const char *pluto::counterName(Counter C) {
     return "budget_exhausted";
   case Counter::FaultsInjected:
     return "faults_injected";
+  case Counter::TuneVariantsEnumerated:
+    return "tune_variants_enumerated";
+  case Counter::TuneVariantsPruned:
+    return "tune_variants_pruned";
+  case Counter::TuneVariantsMeasured:
+    return "tune_variants_measured";
+  case Counter::TuneVariantsErrors:
+    return "tune_variants_errors";
   case Counter::NumCounters:
     break;
   }

@@ -106,6 +106,11 @@ enum class Counter : unsigned {
   JitStaleDirsSwept, ///< stale TMPDIR work directories removed at startup
   BudgetExhausted,  ///< compiles stopped by a resource budget
   FaultsInjected,   ///< failures injected by the FaultInjector
+  // tune/ - the empirical autotuner's search accounting.
+  TuneVariantsEnumerated, ///< option sets enumerated from the search space
+  TuneVariantsPruned,     ///< distinct variants dropped by the static pruner
+  TuneVariantsMeasured,   ///< variants JIT-compiled and timed
+  TuneVariantsErrors,     ///< variants skipped on a per-variant failure
   NumCounters,
 };
 

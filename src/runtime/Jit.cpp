@@ -9,6 +9,7 @@
 #include "observe/PassStats.h"
 #include "support/FaultInjector.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +23,10 @@
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 using namespace pluto;
 
@@ -217,4 +222,61 @@ void CompiledKernel::call(const std::vector<double *> &Arrays,
   assert(Fn && "calling an invalid kernel");
   std::vector<double *> A = Arrays; // Entry takes non-const double**.
   reinterpret_cast<EntryFn>(Fn)(A.data(), Params.data(), Consts.data());
+}
+
+Measurement pluto::measureRun(const std::function<void()> &Run,
+                              const std::function<void()> &Reset,
+                              const MeasureOptions &MO) {
+  // Pin the thread count before anything executes: the JIT-compiled
+  // kernel's OpenMP runtime lives in this process, so omp_set_num_threads
+  // here governs its parallel regions. Threads == 0 deliberately inherits
+  // the environment.
+  if (MO.Threads > 0) {
+#ifdef _OPENMP
+    omp_set_num_threads(static_cast<int>(MO.Threads));
+#else
+    setenv("OMP_NUM_THREADS", std::to_string(MO.Threads).c_str(), 1);
+#endif
+  }
+
+  auto Now = MO.Now ? MO.Now : std::function<double()>([] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  });
+
+  for (unsigned I = 0; I < MO.Warmup; ++I) {
+    if (Reset)
+      Reset();
+    Run();
+  }
+
+  Measurement M;
+  unsigned Reps = MO.Reps ? MO.Reps : 1;
+  M.RepSeconds.reserve(Reps);
+  for (unsigned I = 0; I < Reps; ++I) {
+    if (Reset)
+      Reset();
+    double T0 = Now();
+    Run();
+    M.RepSeconds.push_back(Now() - T0);
+  }
+
+  // Median of K: the middle element of the sorted samples (the mean of the
+  // middle pair for even K), so one perturbed rep cannot move the result.
+  std::vector<double> Sorted = M.RepSeconds;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t N = Sorted.size();
+  M.MedianSeconds = (N % 2) ? Sorted[N / 2]
+                            : 0.5 * (Sorted[N / 2 - 1] + Sorted[N / 2]);
+  return M;
+}
+
+Measurement pluto::measureKernel(const CompiledKernel &K,
+                                 const std::vector<double *> &Arrays,
+                                 const std::vector<long long> &Params,
+                                 const std::vector<double> &Consts,
+                                 const std::function<void()> &Reset,
+                                 const MeasureOptions &MO) {
+  return measureRun([&] { K.call(Arrays, Params, Consts); }, Reset, MO);
 }

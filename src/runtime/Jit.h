@@ -19,6 +19,7 @@
 
 #include "support/Result.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,52 @@ private:
 
   void reset();
 };
+
+/// How to time a kernel honestly. The historical harness reported a single
+/// un-warmed run under whatever OMP_NUM_THREADS the environment happened to
+/// carry - which mis-ranks parallel variants (first-touch page faults,
+/// OpenMP pool spin-up and an unpinned thread count all land in the
+/// measurement). These options make every bias knob explicit.
+struct MeasureOptions {
+  /// Untimed warm-up executions before the measured reps (pays the OpenMP
+  /// pool spin-up, code paging and first-touch faults once, outside the
+  /// measurement).
+  unsigned Warmup = 1;
+  /// Timed repetitions; the reported time is the median (robust against a
+  /// stray slow rep where min would hide systematic noise and mean would
+  /// average it in).
+  unsigned Reps = 3;
+  /// Thread count pinned via omp_set_num_threads before any execution;
+  /// 0 inherits the environment (explicitly opting back into the bias).
+  unsigned Threads = 1;
+  /// Injectable monotonic clock in seconds; tests substitute a scripted
+  /// fake so measured traces are deterministic. Null = steady_clock.
+  std::function<double()> Now;
+};
+
+/// One measurement: every rep's wall time plus the median the tuner ranks
+/// by. RepSeconds keeps the raw samples so traces stay honest about the
+/// spread.
+struct Measurement {
+  double MedianSeconds = 0;
+  std::vector<double> RepSeconds;
+};
+
+/// Times an arbitrary thunk under MO: pins the thread count, runs
+/// MO.Warmup untimed executions, then MO.Reps timed ones, calling Reset
+/// (when non-null) before every execution - outside the timed region - so
+/// each rep sees identical input instead of the previous rep's output.
+Measurement measureRun(const std::function<void()> &Run,
+                       const std::function<void()> &Reset,
+                       const MeasureOptions &MO = MeasureOptions());
+
+/// Convenience wrapper timing one compiled kernel call.
+Measurement measureKernel(const CompiledKernel &K,
+                          const std::vector<double *> &Arrays,
+                          const std::vector<long long> &Params,
+                          const std::vector<double> &Consts,
+                          const std::function<void()> &Reset,
+                          const MeasureOptions &MO = MeasureOptions());
 
 } // namespace pluto
 

@@ -138,8 +138,13 @@ std::string pluto::serve::encodeRequest(const WireRequest &R) {
   case Op::Metrics:
     appendStr(Out, "op", "metrics");
     break;
+  case Op::Tune:
   case Op::Compile:
-    appendStr(Out, "op", "compile");
+    appendStr(Out, "op", R.Operation == Op::Tune ? "tune" : "compile");
+    if (R.Operation == Op::Tune && !R.Spec.empty()) {
+      Out += ',';
+      appendStr(Out, "spec", R.Spec);
+    }
     if (!R.Req.Name.empty()) {
       Out += ',';
       appendStr(Out, "name", R.Req.Name);
@@ -199,11 +204,13 @@ Result<WireRequest> pluto::serve::decodeRequest(const std::string &Line) {
     R.Operation = Op::Metrics;
   else if (OpName == "compile")
     R.Operation = Op::Compile;
+  else if (OpName == "tune")
+    R.Operation = Op::Tune;
   else
     return Err("unknown op \"" + OpName +
-               "\" (expected compile, ping or metrics)");
+               "\" (expected compile, tune, ping or metrics)");
 
-  if (R.Operation != Op::Compile)
+  if (R.Operation != Op::Compile && R.Operation != Op::Tune)
     return R;
 
   if (const JsonValue *Name = Doc->find("name")) {
@@ -213,8 +220,17 @@ Result<WireRequest> pluto::serve::decodeRequest(const std::string &Line) {
   }
   const JsonValue *Src = Doc->find("source");
   if (!Src || !Src->isString())
-    return Err("compile request needs a string \"source\" member");
+    return Err(std::string(R.Operation == Op::Tune ? "tune" : "compile") +
+               " request needs a string \"source\" member");
   R.Req.Source = Src->asString();
+
+  if (R.Operation == Op::Tune) {
+    if (const JsonValue *Spec = Doc->find("spec")) {
+      if (!Spec->isString())
+        return Err("\"spec\" must be a string");
+      R.Spec = Spec->asString();
+    }
+  }
 
   if (const JsonValue *Opts = Doc->find("options")) {
     auto O = optionsFromJson(*Opts);
@@ -303,6 +319,36 @@ std::string pluto::serve::encodeMetricsResponse(
   return Out;
 }
 
+std::string pluto::serve::encodeTuneResponse(
+    const std::string &IdJson, StatusCode S, const std::string &Name,
+    const std::string &WinnerKey, const std::string &WinnerC,
+    const std::string &Error, const std::string &TraceJson) {
+  std::string Out = head(IdJson);
+  Out += ',';
+  appendStr(Out, "status", statusCodeName(S));
+  if (!Name.empty()) {
+    Out += ',';
+    appendStr(Out, "name", Name);
+  }
+  if (S == StatusCode::Ok) {
+    if (!WinnerKey.empty()) {
+      Out += ',';
+      appendStr(Out, "key", WinnerKey);
+    }
+    Out += ',';
+    appendStr(Out, "emitted_c", WinnerC);
+  } else if (!Error.empty()) {
+    Out += ',';
+    appendStr(Out, "error", Error);
+  }
+  if (!TraceJson.empty()) {
+    Out += ",\"trace\":";
+    Out += TraceJson;
+  }
+  Out += '}';
+  return Out;
+}
+
 Result<WireResponse> pluto::serve::decodeResponse(const std::string &Line) {
   auto Doc = JsonValue::parse(Line);
   if (!Doc)
@@ -338,6 +384,8 @@ Result<WireResponse> pluto::serve::decodeResponse(const std::string &Line) {
     R.Error = V->asString();
   if (const JsonValue *V = Doc->find("metrics"))
     R.MetricsJson = V->toJson();
+  if (const JsonValue *V = Doc->find("trace"))
+    R.TraceJson = V->toJson();
 
   if (const JsonValue *Ds = Doc->find("diagnostics"); Ds && Ds->isArray()) {
     for (const JsonValue &DV : Ds->array()) {

@@ -9,11 +9,13 @@
 /// socket, one request object per line in, one response object per line
 /// out. Version 1 grammar:
 ///
-///   request  := {"plutod": 1, "op": "compile" | "ping" | "metrics",
+///   request  := {"plutod": 1, "op": "compile" | "ping" | "metrics"
+///                             | "tune",
 ///                "id": <any JSON value, echoed verbatim>,
-///                "name": <string, compile only, optional>,
-///                "source": <string, compile only>,
-///                "options": <object, compile only, optional>}
+///                "name": <string, compile/tune only, optional>,
+///                "source": <string, compile/tune only>,
+///                "options": <object, compile/tune only, optional>,
+///                "spec": <string, tune only, optional>}
 ///   response := {"plutod": 1, "id": <echo>, "status": <StatusCode name>,
 ///                ... status-dependent payload ...}
 ///
@@ -21,6 +23,12 @@
 /// "error" plus a "diagnostics" array (the same serializer the plutopp
 /// --report=json schema uses) on source-error; "error" alone otherwise.
 /// Metrics responses carry the full stats document under "metrics".
+/// Tune requests run the autotuner (tune::explore) over "source": the
+/// "options" object is the base configuration, "spec" the search-space
+/// string of plutopp --tune= (parsed at admission, so a malformed spec is
+/// a bad-request). Tune responses carry the winner's "key" and
+/// "emitted_c" plus the minified search trace under "trace" on ok;
+/// "error" (and "trace" when the search produced one) otherwise.
 /// The "options" object mirrors the plutopp transformation flags in
 /// snake_case (tile, tile_size, l2tile, l2tile_size, parallel,
 /// wavefront_degrees, vectorize, include_input_deps, param_min,
@@ -52,6 +60,7 @@ enum class Op {
   Compile,
   Ping,
   Metrics,
+  Tune,
 };
 
 /// One decoded request line.
@@ -60,8 +69,11 @@ struct WireRequest {
   /// Raw JSON text of the client's "id" member, echoed verbatim into the
   /// response so clients can pipeline requests; "null" when absent.
   std::string Id = "null";
-  /// Populated for Op::Compile.
+  /// Populated for Op::Compile and Op::Tune (name, source, base options,
+  /// budget).
   CompileRequest Req;
+  /// Search-space spec (Op::Tune only); empty = tuner defaults.
+  std::string Spec;
 };
 
 /// One decoded response line (the client-side view).
@@ -76,6 +88,8 @@ struct WireResponse {
   std::string Error;
   /// Raw JSON text of the "metrics" member (metrics responses only).
   std::string MetricsJson;
+  /// Raw JSON text of the "trace" member (tune responses only).
+  std::string TraceJson;
 
   bool ok() const { return Status == StatusCode::Ok; }
 };
@@ -110,6 +124,16 @@ std::string encodeSimpleResponse(const std::string &IdJson, StatusCode S,
 /// JSON value (minifyJson the stats document first).
 std::string encodeMetricsResponse(const std::string &IdJson,
                                   const std::string &MetricsJson);
+
+/// One-line tune response: status, optional name, winner key + emitted C
+/// and the minified search trace on ok; error (+ trace when non-empty)
+/// otherwise. TraceJson must already be a single-line JSON value.
+std::string encodeTuneResponse(const std::string &IdJson, StatusCode S,
+                               const std::string &Name,
+                               const std::string &WinnerKey,
+                               const std::string &WinnerC,
+                               const std::string &Error,
+                               const std::string &TraceJson);
 
 /// Parses one response line into the client-side view.
 Result<WireResponse> decodeResponse(const std::string &Line);

@@ -8,6 +8,7 @@
 
 #include "support/FaultInjector.h"
 #include "support/Json.h"
+#include "tune/Tuner.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -55,10 +56,12 @@ std::string LatencyHistogram::toJson() const {
   return Out;
 }
 
-/// One admitted compile job, waiting in its connection's deque.
+/// One admitted compile or tune job, waiting in its connection's deque.
 struct Server::Job {
   std::string Id; ///< raw JSON echo id
   CompileRequest Req;
+  bool IsTune = false;
+  std::string Spec; ///< tune search-space spec (validated at admission)
   Clock::time_point Admitted;
 };
 
@@ -375,6 +378,7 @@ void Server::handleLine(const std::shared_ptr<Conn> &C, std::string Line) {
     return;
   }
   case Op::Compile:
+  case Op::Tune:
     break;
   }
 
@@ -388,6 +392,22 @@ void Server::handleLine(const std::shared_ptr<Conn> &C, std::string Line) {
     sendLine(C, encodeSimpleResponse(R->Id, StatusCode::BadRequest,
                                      V.error()));
     return;
+  }
+
+  // Same early classification for a malformed tune spec: parse it now so
+  // the client hears bad-request, not a late worker-side failure.
+  if (R->Operation == Op::Tune) {
+    tune::SearchSpace Space;
+    tune::TuneOptions Probe;
+    if (auto S = tune::parseSpec(R->Spec, Space, Probe); !S) {
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Counters.BadRequests;
+      }
+      sendLine(C, encodeSimpleResponse(R->Id, StatusCode::BadRequest,
+                                       S.error()));
+      return;
+    }
   }
 
   // Admission: bounded queue, reject-don't-drop.
@@ -404,6 +424,8 @@ void Server::handleLine(const std::shared_ptr<Conn> &C, std::string Line) {
       Job J;
       J.Id = R->Id;
       J.Req = std::move(R->Req);
+      J.IsTune = R->Operation == Op::Tune;
+      J.Spec = std::move(R->Spec);
       J.Admitted = Clock::now();
       C->Jobs.push_back(std::move(J));
       if (!C->InRing) {
@@ -526,6 +548,7 @@ void Server::workerLoop(unsigned Idx) {
     }
 
     CompileResponse Resp;
+    std::string RespLine; ///< pre-encoded reply (tune); empty = encode Resp
     bool TimedOutJob = false;
     if (Cfg.RequestTimeoutMs > 0 &&
         Clock::now() - J.Admitted >
@@ -536,6 +559,27 @@ void Server::workerLoop(unsigned Idx) {
       Resp.Error = "request deadline exceeded after " +
                    std::to_string(Cfg.RequestTimeoutMs) +
                    " ms in the queue";
+    } else if (J.IsTune) {
+      // Tune jobs bypass the per-fingerprint session map: explore() runs
+      // its own frontend sessions per schedule group and compiles every
+      // variant through the shared sharded cache. The search runs
+      // in-parent even in isolate mode - per-variant status isolation
+      // inside explore() contains variant failures. (The spec parsed at
+      // admission; re-parsing here cannot fail.)
+      tune::SearchSpace Space;
+      tune::TuneOptions TuneOpts;
+      TuneOpts.Base = J.Req.Opts;
+      (void)tune::parseSpec(J.Spec, Space, TuneOpts);
+      TuneOpts.Budget = BudgetLimits::tightest(J.Req.Budget, ServerLimits);
+      TuneOpts.Cache = Cache;
+      tune::TuneResult TR = tune::explore(J.Req.Source, Space, TuneOpts);
+      Resp.Status = TR.Status;
+      Resp.Name = J.Req.Name;
+      Resp.Key = TR.WinnerKey;
+      Resp.Error = TR.Error;
+      RespLine = encodeTuneResponse(J.Id, TR.Status, J.Req.Name, TR.WinnerKey,
+                                    TR.WinnerC, TR.Error,
+                                    minifyJson(TR.traceJson()));
     } else {
       J.Req.Budget = BudgetLimits::tightest(J.Req.Budget, ServerLimits);
       std::string Fp = J.Req.Opts.fingerprint();
@@ -569,7 +613,7 @@ void Server::workerLoop(unsigned Idx) {
       Latency.record(Ms);
     }
     logRequest(C, Resp.Name, Resp.Status, Resp.CacheHit, Ms);
-    sendLine(C, encodeResponse(J.Id, Resp));
+    sendLine(C, RespLine.empty() ? encodeResponse(J.Id, Resp) : RespLine);
 
     bool Quiesced = false;
     {

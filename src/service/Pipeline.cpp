@@ -336,7 +336,12 @@ std::string Pipeline::cacheKey(const std::string &Source) const {
 CompileResponse Pipeline::compileRequest(const CompileRequest &Req) {
   CompileResponse Resp;
   Resp.Name = Req.Name;
-  if (Req.Opts != Opts) {
+  // Fingerprint comparison, not field-wise equality: batch and daemon
+  // workers route requests to sessions keyed by fingerprint, and the
+  // fingerprint deliberately looks through fields the pipeline ignores
+  // (PlutoOptions::normalized()) - e.g. WavefrontDegrees when Parallelize
+  // is off. Such requests are legitimately served by this session.
+  if (Req.Opts != Opts && Req.Opts.fingerprint() != Fp) {
     Resp.Status = StatusCode::BadRequest;
     Resp.Error = "request options do not match this session's options "
                  "(route requests to a session with a matching "

@@ -107,9 +107,9 @@ public:
   /// One-shot compile of Req through the attached cache (cold compile
   /// when no cache is attached), reporting through the service's
   /// StatusCode taxonomy. Resets the session to Req.Source. Req.Opts must
-  /// equal this session's options (callers with heterogeneous option sets
-  /// route requests to matching sessions - see compileRequests()); a
-  /// mismatch is a bad-request response. On source-error the response
+  /// match this session's options fingerprint (callers with heterogeneous
+  /// option sets route requests to matching sessions - see
+  /// compileRequests()); a mismatch is a bad-request response. On source-error the response
   /// carries every recovered frontend diagnostic, even when the failure
   /// was coalesced onto another session's in-flight compile.
   CompileResponse compileRequest(const CompileRequest &Req);

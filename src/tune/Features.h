@@ -1,0 +1,88 @@
+//===- tune/Features.h - Static variant features for pruning ----*- C++-*-===//
+//
+// Part of plutopp, a reproduction of the PLDI'08 Pluto system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static (compile-time) features of one lowered variant, extracted without
+/// running it: band structure, tile-space depth, per-row loop classes, a
+/// stride-class census of the array accesses as seen from the generated
+/// loops, and a reuse-distance proxy from the dependence satisfaction rows.
+/// The autotuner's pruner ranks enumerated variants by a score over these
+/// features so that only a small front of the space is ever JIT-measured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PLUTOPP_TUNE_FEATURES_H
+#define PLUTOPP_TUNE_FEATURES_H
+
+#include "driver/Driver.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pluto {
+namespace tune {
+
+/// Static features of one lowered variant. All counts are over the final
+/// generated AST / scheduled Scop, so code-generation effects (separation
+/// pieces duplicating a statement under different loops) are reflected.
+struct VariantFeatures {
+  /// Loop nodes in the generated AST (what explore_transforms historically
+  /// mis-counted by substring-scanning the emitted C for "for (").
+  uint64_t Loops = 0;
+  /// Permutable bands of the scheduled program.
+  uint64_t Bands = 0;
+  /// Tile-space rows added by tiling: scattering rows minus schedule rows
+  /// (0 for untiled variants; doubled depth under two-level tiling).
+  uint64_t TileDepth = 0;
+  /// Per-row loop classes (the driver's report taxonomy): communication-
+  /// free parallel rows, pipelined (wavefront) rows sharing a band with a
+  /// parallel row, and the sequential rest. Scalar rows are not loops.
+  uint64_t ParallelLoops = 0;
+  uint64_t PipelineLoops = 0;
+  uint64_t SequentialLoops = 0;
+  /// Rows the intra-tile reordering marked for vectorization.
+  uint64_t VectorLoops = 0;
+  /// Stride-class census over (call site, access, fastest-varying array
+  /// dimension): the stride of the access in the innermost generated loop
+  /// enclosing the call. Unit strides stream through cache lines; zero
+  /// strides are invariant (register-reusable); larger strides touch a new
+  /// line per iteration; "complex" covers non-affine reconstructed
+  /// iterators (floord/min/max args).
+  uint64_t StrideZero = 0;
+  uint64_t StrideUnit = 0;
+  uint64_t StrideStrided = 0;
+  uint64_t StrideComplex = 0;
+  /// Reuse-distance proxy in [0, 1]: mean over satisfied dependences of
+  /// (satisfaction row + 1) / schedule rows. Dependences satisfied at inner
+  /// rows mean reuse is carried by inner loops (short reuse distance);
+  /// higher is better.
+  double ReuseProxy = 0.0;
+  /// Bytes of the emitted C unit (a code-explosion signal).
+  uint64_t CodeBytes = 0;
+
+  /// Deterministic single-line JSON object ({"loops": ..., ...}).
+  std::string toJson() const;
+};
+
+/// Counts Loop nodes in a generated AST.
+uint64_t countLoops(const CgNode &N);
+
+/// Extracts every feature from a lowered pipeline result. CodeBytes is
+/// passed in by the caller (the emitted unit's size), since lowering alone
+/// does not render C.
+VariantFeatures extractFeatures(const PlutoResult &R, uint64_t CodeBytes);
+
+/// The default pruning score: a locality/parallelism heuristic in the
+/// spirit of the paper's cost function (minimize dependence distances at
+/// outer levels, prefer communication-free parallelism and unit-stride
+/// vectorizable innermost loops). Higher is more promising. Deterministic
+/// in the features alone.
+double defaultScore(const VariantFeatures &F);
+
+} // namespace tune
+} // namespace pluto
+
+#endif // PLUTOPP_TUNE_FEATURES_H

@@ -179,6 +179,92 @@ TEST(JitTest, CompileErrorIsReported) {
   EXPECT_NE(K.error().find("command: "), std::string::npos) << K.error();
 }
 
+// The measurement harness under a scripted clock: the Run body "takes"
+// 100 s the first time it executes and 1 s afterwards - the shape of the
+// historical bias, where OpenMP pool spin-up and first-touch faults land
+// entirely in the first execution.
+namespace {
+struct FakeTimedRun {
+  double Clock = 0.0;
+  unsigned Calls = 0;
+  MeasureOptions options(unsigned Warmup, unsigned Reps) {
+    MeasureOptions MO;
+    MO.Warmup = Warmup;
+    MO.Reps = Reps;
+    MO.Threads = 1;
+    MO.Now = [this] { return Clock; };
+    return MO;
+  }
+  std::function<void()> run() {
+    return [this] { Clock += (Calls++ == 0) ? 100.0 : 1.0; };
+  }
+};
+} // namespace
+
+TEST(MeasureTest, WarmupAbsorbsNoisyFirstRep) {
+  // Regression for the timing bias: with one warm-up execution the 100x
+  // slower first run never enters the samples.
+  FakeTimedRun F;
+  Measurement M = measureRun(F.run(), nullptr, F.options(1, 3));
+  ASSERT_EQ(M.RepSeconds.size(), 3u);
+  for (double S : M.RepSeconds)
+    EXPECT_DOUBLE_EQ(S, 1.0);
+  EXPECT_DOUBLE_EQ(M.MedianSeconds, 1.0);
+  EXPECT_EQ(F.Calls, 4u); // 1 warmup + 3 reps
+}
+
+TEST(MeasureTest, MedianDiscardsOutlierWithoutWarmup) {
+  // Even with warmup explicitly disabled, median-of-K keeps the stray
+  // 100 s rep out of the reported number (min would too, but would also
+  // hide systematic noise; mean would average the outlier in).
+  FakeTimedRun F;
+  Measurement M = measureRun(F.run(), nullptr, F.options(0, 3));
+  ASSERT_EQ(M.RepSeconds.size(), 3u);
+  EXPECT_DOUBLE_EQ(M.RepSeconds[0], 100.0); // raw samples stay honest
+  EXPECT_DOUBLE_EQ(M.RepSeconds[1], 1.0);
+  EXPECT_DOUBLE_EQ(M.MedianSeconds, 1.0);
+}
+
+TEST(MeasureTest, EvenRepCountAveragesMiddlePair) {
+  // Reps: 100, 1, 1, 1 -> sorted middle pair (1, 1) -> median 1. Then a
+  // hand-built spread 1..4 via per-call increments checks the mean of the
+  // middle two.
+  double Clock = 0.0;
+  unsigned Calls = 0;
+  MeasureOptions MO;
+  MO.Warmup = 0;
+  MO.Reps = 4;
+  MO.Threads = 1;
+  MO.Now = [&Clock] { return Clock; };
+  Measurement M = measureRun(
+      [&] { Clock += static_cast<double>(++Calls); }, nullptr, MO);
+  ASSERT_EQ(M.RepSeconds.size(), 4u);
+  // Reps took 1, 2, 3, 4 seconds; median = (2 + 3) / 2.
+  EXPECT_DOUBLE_EQ(M.MedianSeconds, 2.5);
+}
+
+TEST(MeasureTest, ResetRunsOutsideTimedRegion) {
+  // Reset advances the clock by 50 s before every execution, yet no rep
+  // may include it: each rep still reads exactly 1 s.
+  double Clock = 0.0;
+  MeasureOptions MO;
+  MO.Warmup = 1;
+  MO.Reps = 3;
+  MO.Threads = 1;
+  MO.Now = [&Clock] { return Clock; };
+  unsigned Resets = 0;
+  Measurement M = measureRun([&] { Clock += 1.0; },
+                             [&] {
+                               Clock += 50.0;
+                               ++Resets;
+                             },
+                             MO);
+  EXPECT_EQ(Resets, 4u); // before the warmup and before every rep
+  for (double S : M.RepSeconds)
+    EXPECT_DOUBLE_EQ(S, 1.0);
+  EXPECT_DOUBLE_EQ(M.MedianSeconds, 1.0);
+}
+
 TEST(JitTest, JitMatchesInterpreterOnJacobi) {
   if (!CompiledKernel::compilerAvailable())
     GTEST_SKIP() << "no system C compiler";

@@ -264,6 +264,51 @@ TEST(Protocol, ResponseRoundTripsOkAndError) {
   EXPECT_EQ(S->Error, "queue full");
 }
 
+TEST(Protocol, TuneRequestRoundTripsWithSpec) {
+  WireRequest R;
+  R.Operation = Op::Tune;
+  R.Id = "9";
+  R.Req = {"seidel.c", "for (i = 0; i < N; i++) { a[i] = 0; }",
+           PlutoOptions()};
+  R.Spec = "tile=0,16;wave=0,1;measure=0";
+  auto D = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(bool(D)) << D.error();
+  EXPECT_EQ(D->Operation, Op::Tune);
+  EXPECT_EQ(D->Req.Source, R.Req.Source);
+  EXPECT_EQ(D->Spec, R.Spec);
+
+  // Spec is optional: a bare tune request means the default space.
+  R.Spec.clear();
+  auto E = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(bool(E)) << E.error();
+  EXPECT_EQ(E->Operation, Op::Tune);
+  EXPECT_TRUE(E->Spec.empty());
+
+  // Like compile, tune without a source is rejected.
+  EXPECT_FALSE(bool(decodeRequest("{\"plutod\": 1, \"op\": \"tune\"}")));
+}
+
+TEST(Protocol, TuneResponseCarriesWinnerAndTrace) {
+  std::string Trace = "{\"tune_schema\":1,\"enumerated\":5,\"winner\":2}";
+  auto D = decodeResponse(encodeTuneResponse("1", StatusCode::Ok, "s.c",
+                                             "deadbeef", "/* winner */\n", "",
+                                             Trace));
+  ASSERT_TRUE(bool(D)) << D.error();
+  EXPECT_TRUE(D->ok());
+  EXPECT_EQ(D->Name, "s.c");
+  EXPECT_EQ(D->Key, "deadbeef");
+  EXPECT_EQ(D->EmittedC, "/* winner */\n");
+  EXPECT_EQ(D->TraceJson, Trace);
+
+  // Failed searches still ship the trace for post-mortems.
+  auto E = decodeResponse(encodeTuneResponse(
+      "2", StatusCode::ResourceExhausted, "s.c", "", "", "budget", Trace));
+  ASSERT_TRUE(bool(E)) << E.error();
+  EXPECT_EQ(E->Status, StatusCode::ResourceExhausted);
+  EXPECT_EQ(E->Error, "budget");
+  EXPECT_EQ(E->TraceJson, Trace);
+}
+
 TEST(Protocol, StatusNamesRoundTripAndExitCodesAggregate) {
   for (StatusCode S :
        {StatusCode::Ok, StatusCode::BadRequest, StatusCode::SourceError,
@@ -418,6 +463,52 @@ TEST(Server, RoundTripsByteIdenticalWithPipeline) {
   Server::Stats St = (*S)->stats();
   EXPECT_EQ(St.RequestsAccepted, 2u);
   EXPECT_EQ(St.RequestsCompleted, 2u);
+}
+
+TEST(Server, TuneOpRunsAStaticSearchOverTheWire) {
+  ServerConfig Cfg;
+  Cfg.SocketPath = uniqueSocketPath();
+  Cfg.Workers = 1;
+  auto S = Server::create(Cfg);
+  ASSERT_TRUE(bool(S)) << S.error();
+  (*S)->start();
+
+  WireRequest Req;
+  Req.Operation = Op::Tune;
+  Req.Id = "1";
+  Req.Req = {"mm.c", kernelSource(1), PlutoOptions()};
+  // measure=0 keeps the daemon-side search static and deterministic.
+  Req.Spec = "tile=0,16;l2=0;wave=0,1;measure=0";
+
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(Cfg.SocketPath));
+  ASSERT_TRUE(C.sendLine(encodeRequest(Req)));
+  std::string Line;
+  ASSERT_TRUE(C.readLine(Line));
+  auto R = decodeResponse(Line);
+  ASSERT_TRUE(bool(R)) << R.error();
+  ASSERT_TRUE(R->ok()) << R->Error;
+  EXPECT_EQ(R->Name, "mm.c");
+  EXPECT_FALSE(R->Key.empty()) << "winner key must ride along";
+  EXPECT_NE(R->EmittedC.find("void kernel"), std::string::npos)
+      << "winner translation unit must ride along";
+  EXPECT_NE(R->TraceJson.find("\"tune_schema\":1"), std::string::npos)
+      << "minified search trace must ride along: " << R->TraceJson;
+
+  // A malformed spec is rejected at admission, before any worker runs.
+  Req.Id = "2";
+  Req.Spec = "tile=zap";
+  ASSERT_TRUE(C.sendLine(encodeRequest(Req)));
+  ASSERT_TRUE(C.readLine(Line));
+  auto B = decodeResponse(Line);
+  ASSERT_TRUE(bool(B)) << B.error();
+  EXPECT_EQ(B->Status, StatusCode::BadRequest);
+  EXPECT_NE(B->Error.find("zap"), std::string::npos) << B->Error;
+
+  (*S)->drain();
+  Server::Stats St = (*S)->stats();
+  EXPECT_EQ(St.RequestsCompleted, 1u);
+  EXPECT_EQ(St.BadRequests, 1u);
 }
 
 TEST(Server, SourceErrorsCarryDiagnosticsOverTheWire) {

@@ -129,6 +129,9 @@ TEST(OptionsTest, FingerprintIsSensitiveToEveryField) {
   Variants[0].Tile = false;
   Variants[1].TileSize = 16;
   Variants[2].SecondLevelTile = true;
+  // L2TileSize only matters under SecondLevelTile (alone it is normalized
+  // away; see FingerprintNormalizesIgnoredFields below).
+  Variants[3].SecondLevelTile = true;
   Variants[3].L2TileSize = 4;
   Variants[4].Parallelize = false;
   Variants[5].WavefrontDegrees = 2;
@@ -151,6 +154,45 @@ TEST(OptionsTest, FingerprintIsSensitiveToEveryField) {
   // Equal options, equal fingerprint; fingerprints are deterministic.
   PlutoOptions Copy = Base;
   EXPECT_EQ(Copy.fingerprint(), Base.fingerprint());
+}
+
+// The fingerprint-aliasing bugfix: fields the pipeline ignores under the
+// current toggles (a wavefront degree without parallelism, tile sizes on
+// an untiled run) must not split the fingerprint - such option sets cannot
+// produce different output and must share one cache entry.
+TEST(OptionsTest, FingerprintNormalizesIgnoredFields) {
+  // Wavefront degree is meaningless without parallelization.
+  PlutoOptions A, B;
+  A.Parallelize = B.Parallelize = false;
+  A.WavefrontDegrees = 1;
+  B.WavefrontDegrees = 3;
+  EXPECT_TRUE(A != B); // equality stays field-wise...
+  EXPECT_EQ(A.fingerprint(), B.fingerprint()); // ...fingerprint looks through
+
+  // Tile sizes (both levels) are meaningless on an untiled run.
+  PlutoOptions C, D;
+  C.Tile = D.Tile = false;
+  C.TileSize = 16;
+  D.TileSize = 64;
+  D.SecondLevelTile = true;
+  D.L2TileSize = 4;
+  EXPECT_EQ(C.fingerprint(), D.fingerprint());
+
+  // The L2 multiplier is meaningless without second-level tiling.
+  PlutoOptions E, F;
+  E.L2TileSize = 4;
+  F.L2TileSize = 16;
+  EXPECT_EQ(E.SecondLevelTile, false);
+  EXPECT_EQ(E.fingerprint(), F.fingerprint());
+
+  // But the same fields DO split the fingerprint once their toggle is on.
+  PlutoOptions G = E, H = F;
+  G.SecondLevelTile = H.SecondLevelTile = true;
+  EXPECT_NE(G.fingerprint(), H.fingerprint());
+
+  // normalized() is idempotent and is what fingerprint() hashes.
+  EXPECT_EQ(A.normalized().fingerprint(), A.fingerprint());
+  EXPECT_TRUE(A.normalized() == A.normalized().normalized());
 }
 
 //===----------------------------------------------------------------------===//

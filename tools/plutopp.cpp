@@ -26,6 +26,7 @@
 #include "service/Pipeline.h"
 #include "support/FaultInjector.h"
 #include "support/Json.h"
+#include "tune/Tuner.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +81,24 @@ const char *UsageText =
     "                                  parsed statements, FM rows, simplex\n"
     "                                  pivots... (0 = unlimited)\n"
     "\n"
+    "autotuning (single input only):\n"
+    "  --tune[=spec]                   search the option space empirically:\n"
+    "                                  enumerate tile/fusion/wavefront\n"
+    "                                  variants, prune by static features,\n"
+    "                                  JIT-measure the survivors (median of\n"
+    "                                  K reps after warmup, pinned threads,\n"
+    "                                  differential correctness gate) and\n"
+    "                                  emit the winner. The spec is\n"
+    "                                  semicolon-separated key=value:\n"
+    "                                  axes tile=0,16,32 l2=0,8 wave=0,1,2\n"
+    "                                  fuse=0,1 vec=0,1 (0 = feature off),\n"
+    "                                  knobs n= reps= warmup= threads=\n"
+    "                                  max-measure=. Default space:\n"
+    "                                  tile=0,16,32,64;l2=0,8;wave=0,1,2\n"
+    "  --tune-trace=FILE               write the JSON search trace\n"
+    "                                  (tune_schema 1) to FILE instead of\n"
+    "                                  stderr\n"
+    "\n"
     "output options:\n"
     "  --out=FILE                      write the generated C to FILE\n"
     "                                  (single input only; default stdout)\n"
@@ -125,6 +144,8 @@ int main(int argc, char **argv) {
   PlutoOptions Opts;
   BudgetLimits Budget;
   std::vector<std::string> InputPaths;
+  bool Tune = false;
+  std::string TuneSpec, TuneTracePath;
   std::string OutPath, OutDir, CacheDir;
   size_t CacheBytes = 64ull << 20;
   unsigned Jobs = 1;
@@ -193,7 +214,14 @@ int main(int argc, char **argv) {
         return 2;
       }
       CacheBytes = static_cast<size_t>(V);
-    } else if (A.rfind("--out=", 0) == 0)
+    } else if (A == "--tune")
+      Tune = true;
+    else if (A.rfind("--tune=", 0) == 0) {
+      Tune = true;
+      TuneSpec = A.substr(7);
+    } else if (A.rfind("--tune-trace=", 0) == 0)
+      TuneTracePath = A.substr(13);
+    else if (A.rfind("--out=", 0) == 0)
       OutPath = A.substr(6);
     else if (A.rfind("--out-dir=", 0) == 0)
       OutDir = A.substr(10);
@@ -227,6 +255,16 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "plutopp: --out with several inputs is ambiguous; use "
                  "--out-dir\n");
+    return 2;
+  }
+  if (Tune && (InputPaths.size() > 1 || !OutDir.empty())) {
+    std::fprintf(stderr,
+                 "plutopp: --tune takes a single input (and --out, not "
+                 "--out-dir)\n");
+    return 2;
+  }
+  if (!TuneTracePath.empty() && !Tune) {
+    std::fprintf(stderr, "plutopp: --tune-trace requires --tune\n");
     return 2;
   }
 
@@ -279,8 +317,8 @@ int main(int argc, char **argv) {
   // when one job runs on one thread.
   PassStats Stats;
   Trace Tr;
-  bool WantTrace =
-      Report != ReportMode::None && Batch.size() == 1 && BO.Jobs <= 1;
+  bool WantTrace = Report != ReportMode::None && Batch.size() == 1 &&
+                   BO.Jobs <= 1 && !Tune;
   if (Report != ReportMode::None)
     setActiveStats(&Stats);
   if (WantTrace)
@@ -289,6 +327,93 @@ int main(int argc, char **argv) {
   // Deterministic fault injection for tests and the CI soak
   // ($PLUTOPP_FAULT, e.g. "cache.disk_write:*").
   FaultInjector::armFromEnv();
+
+  if (Tune) {
+    tune::SearchSpace SS;
+    tune::TuneOptions TO;
+    TO.Base = Opts;
+    TO.Budget = Budget;
+    TO.Jobs = BO.Jobs;
+    TO.Cache = BO.Cache;
+    if (auto P = tune::parseSpec(TuneSpec, SS, TO); !P) {
+      std::fprintf(stderr, "plutopp: %s\n", P.error().c_str());
+      return 2;
+    }
+
+    tune::TuneResult TR = tune::explore(Batch[0].Source, SS, TO);
+    setActiveStats(nullptr);
+
+    // The trace is written even on failure - a search that died is still a
+    // search worth inspecting.
+    std::string TraceDoc = TR.traceJson();
+    if (!TuneTracePath.empty()) {
+      std::ofstream Out(TuneTracePath, std::ios::binary | std::ios::trunc);
+      if (Out)
+        Out.write(TraceDoc.data(),
+                  static_cast<std::streamsize>(TraceDoc.size()));
+      if (!Out) {
+        std::fprintf(stderr, "plutopp: cannot write '%s'\n",
+                     TuneTracePath.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "%s\n", TraceDoc.c_str());
+    }
+
+    if (TR.Status != StatusCode::Ok) {
+      for (const Diagnostic &D : TR.Diags) {
+        std::fprintf(stderr, "plutopp: %s: %s\n", Batch[0].Name.c_str(),
+                     D.toString().c_str());
+        std::fputs(renderSnippet(Batch[0].Source, D).c_str(), stderr);
+      }
+      if (TR.Diags.empty())
+        std::fprintf(stderr, "plutopp: %s: %s\n", Batch[0].Name.c_str(),
+                     TR.Error.c_str());
+      return TR.exitCode();
+    }
+
+    const tune::TuneVariant *W = TR.winner();
+    std::fprintf(stderr,
+                 "plutopp: tune: %llu enumerated, %llu distinct, %llu "
+                 "measured, %llu errors\n",
+                 static_cast<unsigned long long>(TR.Enumerated),
+                 static_cast<unsigned long long>(TR.Distinct),
+                 static_cast<unsigned long long>(TR.Measured),
+                 static_cast<unsigned long long>(TR.Errors));
+    if (W) {
+      if (W->Measured)
+        std::fprintf(stderr, "plutopp: tune: winner v%u (%.3f ms): %s\n",
+                     W->Id, W->Time.MedianSeconds * 1e3,
+                     W->Fingerprint.c_str());
+      else
+        std::fprintf(stderr, "plutopp: tune: winner v%u (by score): %s\n",
+                     W->Id, W->Fingerprint.c_str());
+    }
+
+    if (!OutPath.empty()) {
+      std::ofstream Out(OutPath, std::ios::binary | std::ios::trunc);
+      if (Out)
+        Out.write(TR.WinnerC.data(),
+                  static_cast<std::streamsize>(TR.WinnerC.size()));
+      if (!Out) {
+        std::fprintf(stderr, "plutopp: cannot write '%s'\n", OutPath.c_str());
+        return 1;
+      }
+    } else {
+      std::fputs(TR.WinnerC.c_str(), stdout);
+    }
+
+    if (Report != ReportMode::None) {
+      FILE *Dst = OutPath.empty() ? stderr : stdout;
+      if (Report == ReportMode::Json) {
+        std::fputs(Stats.toJson().c_str(), Dst);
+        std::fputs("\n", Dst);
+      } else {
+        std::fputs(Stats.toText().c_str(), Dst);
+      }
+    }
+    return 0;
+  }
 
   std::vector<CompileRequest> Reqs;
   Reqs.reserve(Batch.size());
